@@ -1,0 +1,94 @@
+//! Criterion benches, one group per table and figure of the paper.
+//!
+//! Each bench measures the wall time of regenerating that experiment at
+//! `Scale::QUICK` (12 GB / 128 of simulated GPU memory). The point is a
+//! stable, regression-guarded harness around exactly the code the `repro`
+//! binary runs at full scale; EXPERIMENTS.md records the full-scale
+//! numbers themselves.
+
+use bench::experiments::{figures, tables, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const SCALE: Scale = Scale::QUICK;
+
+fn bench_fig1(c: &mut Criterion) {
+    c.benchmark_group("fig1_latency_gap")
+        .sample_size(10)
+        .bench_function("regen", |b| b.iter(|| black_box(figures::fig1(SCALE))));
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    c.benchmark_group("fig3_fault_scaling")
+        .sample_size(10)
+        .bench_function("regen", |b| b.iter(|| black_box(figures::fig3(SCALE))));
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    c.benchmark_group("fig4_service_breakdown")
+        .sample_size(10)
+        .bench_function("regen", |b| b.iter(|| black_box(figures::fig4(SCALE))));
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    c.benchmark_group("fig5_batch_policy")
+        .sample_size(10)
+        .bench_function("regen", |b| b.iter(|| black_box(figures::fig5(SCALE))));
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    c.benchmark_group("fig6_density_tree")
+        .bench_function("regen", |b| b.iter(|| black_box(figures::fig6(SCALE))));
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    c.benchmark_group("fig7_access_patterns")
+        .sample_size(10)
+        .bench_function("regen", |b| b.iter(|| black_box(figures::fig7(SCALE))));
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    c.benchmark_group("fig8_sgemm_eviction_timeline")
+        .sample_size(10)
+        .bench_function("regen", |b| b.iter(|| black_box(figures::fig8(SCALE))));
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    c.benchmark_group("fig9_oversub_breakdown")
+        .sample_size(10)
+        .bench_function("regen", |b| b.iter(|| black_box(figures::fig9(SCALE))));
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    c.benchmark_group("fig10_compute_rate")
+        .sample_size(10)
+        .bench_function("regen", |b| b.iter(|| black_box(figures::fig10(SCALE))));
+}
+
+fn bench_table1(c: &mut Criterion) {
+    c.benchmark_group("table1_fault_reduction")
+        .sample_size(10)
+        .bench_function("regen", |b| b.iter(|| black_box(tables::table1(SCALE))));
+}
+
+fn bench_table2(c: &mut Criterion) {
+    c.benchmark_group("table2_sgemm_scaling")
+        .sample_size(10)
+        .bench_function("regen", |b| b.iter(|| black_box(tables::table2(SCALE))));
+}
+
+criterion_group!(
+    paper,
+    bench_fig1,
+    bench_fig3,
+    bench_fig4,
+    bench_fig5,
+    bench_fig6,
+    bench_fig7,
+    bench_fig8,
+    bench_fig9,
+    bench_fig10,
+    bench_table1,
+    bench_table2,
+);
+criterion_main!(paper);

@@ -1,0 +1,150 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro <experiment> [--scale <denominator>] [--out <dir>] [--json]
+//! repro all
+//! repro list
+//! ```
+//!
+//! `--json` additionally writes each experiment's table as
+//! `<out>/<experiment>.json` for downstream tooling.
+//!
+//! Experiments: fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 table1
+//! table2, the §VI ablations (ablation_replay ablation_threshold
+//! ablation_granularity ablation_eviction ablation_batch_size
+//! ablation_thrash), and the extension analyses (extra_warm_start
+//! extra_batch_composition extra_prefetch_waste).
+//!
+//! `--scale N` sets GPU memory to 12 GB / N (default 16). CSV artifacts
+//! (the scatter data behind Figures 7 and 8) are written to `--out`
+//! (default `./repro-out`).
+
+use bench::experiments::{ablations, extras, figures, tables, Artifact, Scale};
+use std::io::Write;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Print to stdout, exiting quietly on a closed pipe (`repro list | head`).
+fn out(text: &str) {
+    if writeln!(std::io::stdout(), "{text}").is_err() {
+        std::process::exit(0);
+    }
+}
+
+type Experiment = (&'static str, fn(Scale) -> Artifact);
+
+const EXPERIMENTS: &[Experiment] = &[
+    ("fig1", figures::fig1),
+    ("fig3", figures::fig3),
+    ("fig4", figures::fig4),
+    ("fig5", figures::fig5),
+    ("fig6", figures::fig6),
+    ("fig7", figures::fig7),
+    ("fig8", figures::fig8),
+    ("fig9", figures::fig9),
+    ("fig10", figures::fig10),
+    ("table1", tables::table1),
+    ("table2", tables::table2),
+    ("ablation_replay", ablations::ablation_replay),
+    ("ablation_threshold", ablations::ablation_threshold),
+    ("ablation_granularity", ablations::ablation_granularity),
+    ("ablation_eviction", ablations::ablation_eviction),
+    ("ablation_batch_size", ablations::ablation_batch_size),
+    ("ablation_prefetcher", ablations::ablation_prefetcher),
+    ("ablation_thrash", extras::ablation_thrash),
+    ("extra_warm_start", extras::extra_warm_start),
+    ("extra_batch_composition", extras::extra_batch_composition),
+    ("extra_prefetch_waste", extras::extra_prefetch_waste),
+    ("extra_interconnect", extras::extra_interconnect),
+];
+
+fn usage() -> ! {
+    eprintln!("usage: repro <experiment|all|list> [--scale <denominator>] [--out <dir>]");
+    eprintln!("experiments:");
+    for (name, _) in EXPERIMENTS {
+        eprintln!("  {name}");
+    }
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let mut which = String::new();
+    let mut scale_den = 16.0f64;
+    let mut out_dir = PathBuf::from("repro-out");
+    let mut json = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => json = true,
+            "--scale" => {
+                i += 1;
+                scale_den = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--out" => {
+                i += 1;
+                out_dir = PathBuf::from(args.get(i).unwrap_or_else(|| usage()));
+            }
+            name if which.is_empty() && !name.starts_with('-') => which = name.to_string(),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if which == "list" {
+        for (name, _) in EXPERIMENTS {
+            out(name);
+        }
+        return;
+    }
+    if scale_den.is_nan() || scale_den < 1.0 {
+        eprintln!("error: --scale must be a denominator >= 1 (got {scale_den})");
+        std::process::exit(2);
+    }
+    let selected: Vec<&Experiment> = if which == "all" {
+        EXPERIMENTS.iter().collect()
+    } else {
+        match EXPERIMENTS.iter().find(|(n, _)| *n == which) {
+            Some(e) => vec![e],
+            None => {
+                eprintln!("error: unknown experiment `{which}`\n");
+                usage()
+            }
+        }
+    };
+    let scale = Scale {
+        fraction: 1.0 / scale_den,
+    };
+    out(&format!(
+        "# platform: GPU memory = 12GiB/{scale_den} = {} MiB (scaled Titan V)\n",
+        scale.gpu_bytes() >> 20
+    ));
+
+    for (name, f) in selected {
+        let t0 = Instant::now();
+        let artifact = f(scale);
+        out(&artifact.table.render());
+        for (file, contents) in &artifact.csvs {
+            std::fs::create_dir_all(&out_dir).expect("create output dir");
+            let path = out_dir.join(file);
+            std::fs::write(&path, contents).expect("write artifact");
+            out(&format!("  wrote {}", path.display()));
+        }
+        if json {
+            std::fs::create_dir_all(&out_dir).expect("create output dir");
+            let path = out_dir.join(format!("{name}.json"));
+            let body = serde_json::to_string_pretty(&artifact.table).expect("serialize table");
+            std::fs::write(&path, body).expect("write json");
+            out(&format!("  wrote {}", path.display()));
+        }
+        out(&format!(
+            "  [{name} regenerated in {:.1}s]\n",
+            t0.elapsed().as_secs_f64()
+        ));
+    }
+}

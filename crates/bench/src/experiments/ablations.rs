@@ -1,0 +1,309 @@
+//! Ablation studies for the design choices DESIGN.md calls out — the
+//! paper's §VI "paths forward" plus the batch-size question §III-D raises.
+
+use super::{ms, run_sweep, Artifact, Scale};
+use metrics::report::{f, Table};
+use metrics::Category;
+use uvm_driver::{EvictionPolicy, PrefetchPolicy, ReplayPolicy};
+use uvm_sim::WorkloadKind;
+
+/// Replay-policy ablation (paper §III-E): all four policies on the
+/// regular kernel. Flushing policies pay replay-policy cost to keep
+/// preprocessing lean; non-flushing policies shift cost into
+/// preprocessing via stale duplicates.
+pub fn ablation_replay(scale: Scale) -> Artifact {
+    let policies = [
+        ReplayPolicy::Block,
+        ReplayPolicy::Batch,
+        ReplayPolicy::BatchFlush,
+        ReplayPolicy::Once,
+    ];
+    let points = policies
+        .iter()
+        .map(|&p| {
+            let mut c = scale.config();
+            c.driver.replay_policy = p;
+            c.driver.prefetch = PrefetchPolicy::Disabled;
+            (c, scale.workload(WorkloadKind::Regular, 0.5))
+        })
+        .collect();
+    let reports = run_sweep(points);
+
+    let mut table = Table::new(
+        "Ablation: replay policies (regular, prefetch off)",
+        &[
+            "policy",
+            "kernel_ms",
+            "preprocess_ms",
+            "replay_policy_ms",
+            "faults",
+            "replays",
+        ],
+    );
+    for (p, r) in policies.iter().zip(&reports) {
+        table.row(vec![
+            p.label().into(),
+            ms(r.total_time),
+            ms(r.timers.get(Category::Preprocess)),
+            ms(r.timers.get(Category::ReplayPolicy)),
+            format!("{}", r.total_faults()),
+            format!("{}", r.counters.replays),
+        ]);
+    }
+    Artifact::table(table)
+}
+
+/// Prefetch-threshold ablation (paper §IV-C / §VI-B4): threshold 1
+/// ("aggressive") should rival explicit transfer when undersubscribed.
+pub fn ablation_threshold(scale: Scale) -> Artifact {
+    let thresholds = [1u8, 25, 51, 75, 100];
+    let mut points = Vec::new();
+    for &t in &thresholds {
+        let mut c = scale.config();
+        c.driver.prefetch = PrefetchPolicy::Density {
+            threshold: t,
+            big_pages: true,
+        };
+        points.push((c, scale.workload(WorkloadKind::Regular, 0.5)));
+    }
+    let reports = run_sweep(points);
+
+    let mut table = Table::new(
+        "Ablation: density threshold (regular, undersubscribed)",
+        &[
+            "threshold",
+            "kernel_ms",
+            "explicit_ms",
+            "faults",
+            "pages_prefetched",
+        ],
+    );
+    for (t, r) in thresholds.iter().zip(&reports) {
+        table.row(vec![
+            format!("{t}"),
+            ms(r.total_time),
+            ms(r.explicit_time),
+            format!("{}", r.total_faults()),
+            format!("{}", r.counters.pages_prefetched),
+        ]);
+    }
+    Artifact::table(table)
+}
+
+/// Allocation-granularity ablation (paper §VI-B2): finer physical
+/// allocation units waste less GPU memory on irregular access, reducing
+/// eviction pressure for the random workload under oversubscription.
+pub fn ablation_granularity(scale: Scale) -> Artifact {
+    let granularities = [16usize, 64, 512];
+    let points = granularities
+        .iter()
+        .map(|&g| {
+            let mut c = scale.config();
+            c.driver.alloc_granularity_pages = g;
+            (c, scale.workload(WorkloadKind::Random, 1.3))
+        })
+        .collect();
+    let reports = run_sweep(points);
+
+    let mut table = Table::new(
+        "Ablation: allocation granularity (random, 130% oversubscribed)",
+        &[
+            "granularity_kib",
+            "kernel_ms",
+            "evictions",
+            "pages_evicted",
+            "bytes_moved_mib",
+        ],
+    );
+    for (g, r) in granularities.iter().zip(&reports) {
+        table.row(vec![
+            format!("{}", g * 4),
+            ms(r.total_time),
+            format!("{}", r.counters.evictions),
+            format!("{}", r.counters.pages_evicted_total()),
+            format!("{}", r.bytes_moved() >> 20),
+        ]);
+    }
+    Artifact::table(table)
+}
+
+/// Eviction-policy ablation (paper §VI-B3): Volta-style access counters
+/// keep GPU-hot blocks off the LRU tail, reducing evict-then-refault.
+pub fn ablation_eviction(scale: Scale) -> Artifact {
+    let policies = [EvictionPolicy::FaultLru, EvictionPolicy::AccessCounterLru];
+    let points = policies
+        .iter()
+        .map(|&p| {
+            let mut c = scale.config();
+            c.driver.eviction = p;
+            c.gpu.access_counters.enabled = matches!(p, EvictionPolicy::AccessCounterLru);
+            c.gpu.access_counters.threshold = 64;
+            (c, super::figures::sgemm_at_ratio(scale, 1.27))
+        })
+        .collect();
+    let reports = run_sweep(points);
+
+    let mut table = Table::new(
+        "Ablation: eviction aging (sgemm, ~127% oversubscribed)",
+        &[
+            "policy",
+            "kernel_ms",
+            "evictions",
+            "pages_evicted",
+            "faults",
+        ],
+    );
+    for (p, r) in policies.iter().zip(&reports) {
+        table.row(vec![
+            p.label().into(),
+            ms(r.total_time),
+            format!("{}", r.counters.evictions),
+            format!("{}", r.counters.pages_evicted_total()),
+            format!("{}", r.total_faults()),
+        ]);
+    }
+    Artifact::table(table)
+}
+
+/// Prefetcher comparison (paper §VI-A): the stock density scheme ignores
+/// fault order by design; a classic next-N sequential prefetcher trusts
+/// it. Under parallel fault arrival the order is scrambled, so the
+/// sequential baseline's coverage collapses on every pattern that is not
+/// strictly streaming — quantifying why NVIDIA chose density.
+pub fn ablation_prefetcher(scale: Scale) -> Artifact {
+    let schemes: [(&str, PrefetchPolicy); 3] = [
+        ("density(51)", PrefetchPolicy::default()),
+        ("sequential(16)", PrefetchPolicy::Sequential { degree: 16 }),
+        ("disabled", PrefetchPolicy::Disabled),
+    ];
+    let patterns = [WorkloadKind::Regular, WorkloadKind::Random];
+    let mut points = Vec::new();
+    for &p in &patterns {
+        for (_, scheme) in &schemes {
+            let mut c = scale.config();
+            c.driver.prefetch = *scheme;
+            points.push((c, scale.workload(p, 0.5)));
+        }
+    }
+    let reports = run_sweep(points);
+
+    let mut table = Table::new(
+        "Ablation: density vs sequential prefetching (undersubscribed)",
+        &[
+            "pattern",
+            "prefetcher",
+            "kernel_ms",
+            "faults",
+            "fault_reduction_pct",
+            "pages_prefetched",
+        ],
+    );
+    let mut i = 0;
+    for &p in &patterns {
+        let baseline_faults = reports[i + 2].total_faults(); // "disabled" row
+        for (name, _) in &schemes {
+            let r = &reports[i];
+            i += 1;
+            let reduction = if baseline_faults == 0 {
+                0.0
+            } else {
+                100.0 * (1.0 - r.total_faults() as f64 / baseline_faults as f64)
+            };
+            table.row(vec![
+                p.label().into(),
+                name.to_string(),
+                ms(r.total_time),
+                format!("{}", r.total_faults()),
+                f(reduction, 1),
+                format!("{}", r.counters.pages_prefetched),
+            ]);
+        }
+    }
+    Artifact::table(table)
+}
+
+/// Batch-size ablation (paper §III-D): larger batches coalesce more
+/// same-VABlock faults per service pass but delay replays.
+pub fn ablation_batch_size(scale: Scale) -> Artifact {
+    let sizes = [64usize, 256, 1024];
+    let patterns = [WorkloadKind::Regular, WorkloadKind::Random];
+    let mut points = Vec::new();
+    for &p in &patterns {
+        for &s in &sizes {
+            let mut c = scale.config();
+            c.driver.batch_size = s;
+            points.push((c, scale.workload(p, 0.5)));
+        }
+    }
+    let reports = run_sweep(points);
+
+    let mut table = Table::new(
+        "Ablation: fault batch size",
+        &[
+            "pattern",
+            "batch_size",
+            "kernel_ms",
+            "batches",
+            "vablocks_per_batch",
+        ],
+    );
+    let mut i = 0;
+    for &p in &patterns {
+        for &s in &sizes {
+            let r = &reports[i];
+            i += 1;
+            let vb_per_batch = if r.counters.batches == 0 {
+                0.0
+            } else {
+                r.counters.vablocks_serviced as f64 / r.counters.batches as f64
+            };
+            table.row(vec![
+                p.label().into(),
+                format!("{s}"),
+                ms(r.total_time),
+                format!("{}", r.counters.batches),
+                f(vb_per_batch, 2),
+            ]);
+        }
+    }
+    Artifact::table(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_ablation_flush_vs_batch_tradeoff() {
+        let a = ablation_replay(Scale::QUICK);
+        let csv = a.table.to_csv();
+        let row = |name: &str| -> Vec<f64> {
+            csv.lines()
+                .find(|l| l.starts_with(name))
+                .unwrap()
+                .split(',')
+                .skip(1)
+                .take(3)
+                .map(|c| c.parse().unwrap())
+                .collect()
+        };
+        let batch = row("batch,");
+        let flush = row("batch_flush");
+        // Fig 5's observation: Batch policy has lower replay-policy cost
+        // than BatchFlush.
+        assert!(batch[2] < flush[2], "batch {batch:?} vs flush {flush:?}");
+    }
+
+    #[test]
+    fn threshold_one_approaches_explicit() {
+        let a = ablation_threshold(Scale::QUICK);
+        let csv = a.table.to_csv();
+        let first: Vec<&str> = csv.lines().nth(1).unwrap().split(',').collect();
+        let kernel: f64 = first[1].parse().unwrap();
+        let explicit: f64 = first[2].parse().unwrap();
+        assert!(
+            kernel < 4.0 * explicit,
+            "aggressive prefetch within 4x of explicit: {kernel} vs {explicit}"
+        );
+    }
+}

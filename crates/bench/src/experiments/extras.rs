@@ -1,0 +1,333 @@
+//! Experiments beyond the paper's tables and figures, exercising the
+//! extension subsystems: thrashing mitigation, warm-start launch
+//! amortisation, batch-composition distributions, and prefetch-waste
+//! accounting.
+
+use super::figures::{sgemm_at_ratio, sgemm_config};
+use super::{ms, run_sweep, Artifact, Scale};
+use metrics::report::{f, Table};
+use uvm_driver::{PrefetchPolicy, ThrashConfig};
+use uvm_sim::{run_repeated, WorkloadKind};
+
+/// Thrashing detection (uvm_perf_thrashing analog, §VI-B4): count how
+/// many VABlocks refault after eviction per workload under
+/// oversubscription. An instructive negative result accompanies it: for
+/// streaming kernels, refault pinning changes nothing — a refaulting
+/// block is by definition *recently faulted*, so LRU recency already
+/// protects it. The pathology pinning does fix is fault-blind hotness
+/// (blocks hammered without faulting), demonstrated in
+/// `tests/stack_integration.rs::thrash_pinning_protects_faultless_hot_data`.
+pub fn ablation_thrash(scale: Scale) -> Artifact {
+    let mitigation = ThrashConfig {
+        enabled: true,
+        refault_threshold: 1,
+        pin_duration_batches: 512,
+    };
+    let sgemm = sgemm_at_ratio(scale, 1.56);
+    let mut points = Vec::new();
+    for enabled in [false, true] {
+        let mut c = sgemm_config(scale);
+        if enabled {
+            c.driver.thrash = mitigation.clone();
+        }
+        points.push((c, sgemm.clone()));
+        let mut c = scale.config();
+        if enabled {
+            c.driver.thrash = mitigation.clone();
+        }
+        points.push((c, scale.workload(WorkloadKind::Random, 1.3)));
+    }
+    let reports = run_sweep(points);
+
+    let mut table = Table::new(
+        "Extra: thrashing detection + refault pinning (oversubscribed)",
+        &[
+            "workload",
+            "mitigation",
+            "kernel_ms",
+            "faults",
+            "evictions",
+            "pins",
+        ],
+    );
+    let labels = ["sgemm", "random", "sgemm", "random"];
+    let mitigated = ["off", "off", "pin refaulters", "pin refaulters"];
+    for i in 0..4 {
+        let r = &reports[i];
+        table.row(vec![
+            labels[i].into(),
+            mitigated[i].into(),
+            ms(r.total_time),
+            format!("{}", r.total_faults()),
+            format!("{}", r.counters.evictions),
+            format!("{}", r.counters.thrash_pins),
+        ]);
+    }
+    Artifact::table(table)
+}
+
+/// Warm-start amortisation: the same kernel launched repeatedly against
+/// one persistent driver. Undersubscribed, only launch 0 pays the
+/// demand-paging tax; oversubscribed, every launch keeps thrashing —
+/// UVM's first-touch cost amortises only when data fits.
+pub fn extra_warm_start(scale: Scale) -> Artifact {
+    let mut table = Table::new(
+        "Extra: repeated-launch amortisation (regular kernel)",
+        &[
+            "ratio",
+            "launch",
+            "time_ms",
+            "faults",
+            "pages_migrated",
+            "evictions",
+        ],
+    );
+    for ratio in [0.5, 1.3] {
+        let cfg = scale.config();
+        let w = scale.workload(WorkloadKind::Regular, ratio);
+        for s in run_repeated(&cfg, &w, 3) {
+            table.row(vec![
+                f(ratio, 1),
+                format!("{}", s.launch),
+                ms(s.time),
+                format!("{}", s.faults),
+                format!("{}", s.pages_migrated),
+                format!("{}", s.evictions),
+            ]);
+        }
+    }
+    Artifact::table(table)
+}
+
+/// Batch composition (paper §III-D): the per-batch VABlock count is the
+/// coalescing lever — regular batches collapse into a few blocks, random
+/// batches touch one block per fault.
+pub fn extra_batch_composition(scale: Scale) -> Artifact {
+    let kinds = [
+        WorkloadKind::Regular,
+        WorkloadKind::Random,
+        WorkloadKind::Sgemm,
+        WorkloadKind::Tealeaf,
+    ];
+    // Histograms live on the driver, which `run` consumes; re-derive the
+    // mean from counters instead, and sweep in parallel.
+    let points = kinds
+        .iter()
+        .map(|&k| {
+            let mut c = scale.config();
+            c.driver.prefetch = PrefetchPolicy::Disabled;
+            (c, scale.workload(k, 0.5))
+        })
+        .collect();
+    let reports = run_sweep(points);
+    let mut table = Table::new(
+        "Extra: batch composition (prefetch off)",
+        &[
+            "workload",
+            "batches",
+            "faults",
+            "vablocks_per_batch",
+            "faults_per_vablock",
+        ],
+    );
+    for (k, r) in kinds.iter().zip(&reports) {
+        let vb_per_batch = r.counters.vablocks_serviced as f64 / r.counters.batches.max(1) as f64;
+        let faults_per_vb =
+            r.counters.pages_faulted_in as f64 / r.counters.vablocks_serviced.max(1) as f64;
+        table.row(vec![
+            k.label().into(),
+            format!("{}", r.counters.batches),
+            format!("{}", r.total_faults()),
+            f(vb_per_batch, 2),
+            f(faults_per_vb, 2),
+        ]);
+    }
+    Artifact::table(table)
+}
+
+/// Prefetch waste (paper §VI-A: "prefetching can cause the movement of
+/// unneeded data"): pages the prefetcher moved that the kernel never
+/// used, per threshold, for the sparse-friendly cusparse workload.
+pub fn extra_prefetch_waste(scale: Scale) -> Artifact {
+    let thresholds = [1u8, 51, 90];
+    let points = thresholds
+        .iter()
+        .map(|&t| {
+            let mut c = scale.config();
+            c.gpu.track_page_use = true;
+            c.driver.prefetch = PrefetchPolicy::Density {
+                threshold: t,
+                big_pages: true,
+            };
+            (c, scale.workload(WorkloadKind::Cusparse, 0.5))
+        })
+        .collect();
+    let reports = run_sweep(points);
+    let mut table = Table::new(
+        "Extra: prefetch waste vs threshold (cusparse, undersubscribed)",
+        &[
+            "threshold",
+            "kernel_ms",
+            "pages_prefetched",
+            "unused_pages",
+            "waste_pct",
+        ],
+    );
+    for (t, r) in thresholds.iter().zip(&reports) {
+        let unused = r.prefetched_unused_pages.unwrap_or(0);
+        let prefetched = r.counters.pages_prefetched.max(1);
+        table.row(vec![
+            format!("{t}"),
+            ms(r.total_time),
+            format!("{}", r.counters.pages_prefetched),
+            format!("{unused}"),
+            f(100.0 * unused as f64 / prefetched as f64, 1),
+        ]);
+    }
+    Artifact::table(table)
+}
+
+/// Interconnect sensitivity (paper §II cites x86/PCIe vs Power9/NVLink
+/// comparisons, Gayatri et al.): faster links shrink wire time but leave
+/// the software fault-handling costs untouched. Coalesced
+/// prefetch-friendly streaming is the most bandwidth-bound case and
+/// gains the most; random oversubscription thrash is dominated by
+/// per-fault and per-VABlock software work plus eviction restarts, so
+/// even NVLink buys it proportionally less — the paper's core point that
+/// UVM cost is software, not wire.
+pub fn extra_interconnect(scale: Scale) -> Artifact {
+    let links: [(&str, sim_engine::CostModelConfig); 3] = [
+        ("pcie3", sim_engine::CostModelConfig::pcie3()),
+        ("pcie4", sim_engine::CostModelConfig::pcie4()),
+        ("nvlink2", sim_engine::CostModelConfig::nvlink2()),
+    ];
+    let cases = [(WorkloadKind::Regular, 0.5), (WorkloadKind::Random, 1.3)];
+    let mut points = Vec::new();
+    for &(k, ratio) in &cases {
+        for (_, cost) in &links {
+            let mut c = scale.config();
+            c.cost = cost.clone();
+            points.push((c, scale.workload(k, ratio)));
+        }
+    }
+    let reports = run_sweep(points);
+
+    let mut table = Table::new(
+        "Extra: interconnect sensitivity",
+        &[
+            "workload",
+            "ratio",
+            "link",
+            "kernel_ms",
+            "explicit_ms",
+            "bytes_moved_mib",
+        ],
+    );
+    let mut i = 0;
+    for &(k, ratio) in &cases {
+        for (name, _) in &links {
+            let r = &reports[i];
+            i += 1;
+            table.row(vec![
+                k.label().into(),
+                f(ratio, 1),
+                name.to_string(),
+                ms(r.total_time),
+                ms(r.explicit_time),
+                format!("{}", r.bytes_moved() >> 20),
+            ]);
+        }
+    }
+    Artifact::table(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warm_start_amortises_only_undersubscribed() {
+        let a = extra_warm_start(Scale::QUICK);
+        let csv = a.table.to_csv();
+        let rows: Vec<Vec<&str>> = csv
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').collect())
+            .collect();
+        // Undersubscribed (0.5): launch 1 has zero faults.
+        let under_l1 = rows.iter().find(|r| r[0] == "0.5" && r[1] == "1").unwrap();
+        assert_eq!(under_l1[3], "0");
+        // Oversubscribed (1.3): launch 1 keeps faulting.
+        let over_l1 = rows.iter().find(|r| r[0] == "1.3" && r[1] == "1").unwrap();
+        assert_ne!(over_l1[3], "0");
+    }
+
+    #[test]
+    fn thrash_pins_apply_when_enabled() {
+        let a = ablation_thrash(Scale {
+            fraction: 1.0 / 64.0,
+        });
+        let rows: Vec<Vec<String>> = a
+            .table
+            .to_csv()
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').map(str::to_string).collect())
+            .collect();
+        for row in &rows {
+            if row[1] == "off" {
+                assert_eq!(row[5], "0", "stock never pins ({})", row[0]);
+            } else {
+                assert_ne!(row[5], "0", "mitigation pins refaulters ({})", row[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn faster_links_help_thrash_more_than_latency_bound_paging() {
+        let a = extra_interconnect(Scale::QUICK);
+        let csv = a.table.to_csv();
+        let rows: Vec<Vec<String>> = csv
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').map(str::to_string).collect())
+            .collect();
+        let ms_of = |w: &str, link: &str| -> f64 {
+            rows.iter().find(|r| r[0] == w && r[2] == link).unwrap()[3]
+                .parse()
+                .unwrap()
+        };
+        // Both improve — and neither remotely by the 5.8x bandwidth
+        // ratio: software fault handling, not the wire, dominates (the
+        // paper's core point). Coalesced streaming is the more
+        // bandwidth-bound of the two, so it gains at least as much as
+        // software-dominated random thrash.
+        let reg_gain = ms_of("regular", "pcie3") / ms_of("regular", "nvlink2");
+        let rnd_gain = ms_of("random", "pcie3") / ms_of("random", "nvlink2");
+        assert!(reg_gain >= 1.0 && rnd_gain >= 1.0);
+        assert!(reg_gain >= rnd_gain - 0.1, "{reg_gain:.2} vs {rnd_gain:.2}");
+        assert!(
+            reg_gain < 3.0 && rnd_gain < 3.0,
+            "gains stay far below the 5.8x bandwidth ratio"
+        );
+    }
+
+    #[test]
+    fn prefetch_waste_grows_with_aggression() {
+        let a = extra_prefetch_waste(Scale::QUICK);
+        let csv = a.table.to_csv();
+        let rows: Vec<Vec<&str>> = csv
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').collect())
+            .collect();
+        let unused_at =
+            |t: &str| -> u64 { rows.iter().find(|r| r[0] == t).unwrap()[3].parse().unwrap() };
+        assert!(
+            unused_at("1") >= unused_at("90"),
+            "aggressive prefetch wastes at least as much: {} vs {}",
+            unused_at("1"),
+            unused_at("90")
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! Shared experiment plumbing: the scale knob, config presets, parallel
+//! sweep execution, and the artifact type every experiment returns.
+
+pub mod ablations;
+pub mod extras;
+pub mod figures;
+pub mod tables;
+
+use metrics::report::Table;
+use rayon::prelude::*;
+use sim_engine::units::GIB;
+use uvm_sim::{SimConfig, SimReport, Workload, WorkloadKind};
+
+/// Geometric scale of the simulated platform relative to the paper's
+/// Titan V (12 GB). Footprints are specified as subscription *ratios*, so
+/// crossover positions are scale-invariant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scale {
+    /// GPU memory = 12 GB × `fraction`.
+    pub fraction: f64,
+}
+
+impl Scale {
+    /// Default experiment scale: 12 GB / 16 = 768 MiB of GPU memory.
+    pub const DEFAULT: Scale = Scale {
+        fraction: 1.0 / 16.0,
+    };
+
+    /// Quick scale for Criterion benches and smoke tests: 12 GB / 128.
+    pub const QUICK: Scale = Scale {
+        fraction: 1.0 / 128.0,
+    };
+
+    /// GPU memory in bytes at this scale.
+    pub fn gpu_bytes(&self) -> u64 {
+        (12.0 * GIB as f64 * self.fraction) as u64
+    }
+
+    /// Base simulation config at this scale.
+    pub fn config(&self) -> SimConfig {
+        SimConfig::scaled(self.fraction)
+    }
+
+    /// A workload of `kind` sized to `ratio` × GPU memory. Compute-rate
+    /// parameters are scaled alongside memory so the compute/transfer
+    /// balance of the full-size platform is preserved.
+    pub fn workload(&self, kind: WorkloadKind, ratio: f64) -> Workload {
+        let mut w = Workload::with_footprint(kind, (self.gpu_bytes() as f64 * ratio) as u64);
+        if let Workload::Sgemm(p) = &mut w {
+            p.gpu_flops *= self.fraction;
+        }
+        w
+    }
+}
+
+/// What an experiment produces: a rendered table plus any CSV artifacts
+/// (scatter data for the figure plots).
+#[derive(Debug, Clone)]
+pub struct Artifact {
+    /// The table/series the paper reports.
+    pub table: Table,
+    /// Named CSV blobs (e.g. fault scatter data per workload).
+    pub csvs: Vec<(String, String)>,
+}
+
+impl Artifact {
+    /// An artifact with just a table.
+    pub fn table(table: Table) -> Self {
+        Artifact {
+            table,
+            csvs: Vec::new(),
+        }
+    }
+}
+
+/// Run a set of (config, workload) points in parallel, preserving order.
+pub fn run_sweep(points: Vec<(SimConfig, Workload)>) -> Vec<SimReport> {
+    points
+        .into_par_iter()
+        .map(|(cfg, w)| uvm_sim::run(&cfg, &w))
+        .collect()
+}
+
+/// Milliseconds with 3 decimals for table cells.
+pub fn ms(d: sim_engine::SimDuration) -> String {
+    format!("{:.3}", d.as_millis_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_arithmetic() {
+        assert_eq!(Scale::DEFAULT.gpu_bytes(), 12 * GIB / 16);
+        let cfg = Scale::DEFAULT.config();
+        assert_eq!(cfg.driver.gpu_memory_bytes, 12 * GIB / 16);
+    }
+
+    #[test]
+    fn workload_ratio_sizing() {
+        let w = Scale::DEFAULT.workload(WorkloadKind::Regular, 0.5);
+        let ratio = w.footprint_bytes() as f64 / Scale::DEFAULT.gpu_bytes() as f64;
+        assert!((ratio - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn sweep_runs_in_order() {
+        let s = Scale::QUICK;
+        let points = vec![
+            (s.config(), s.workload(WorkloadKind::Regular, 0.05)),
+            (s.config(), s.workload(WorkloadKind::Regular, 0.1)),
+        ];
+        let reports = run_sweep(points);
+        assert_eq!(reports.len(), 2);
+        assert!(reports[0].footprint_bytes < reports[1].footprint_bytes);
+    }
+}

@@ -1,0 +1,116 @@
+//! Regeneration of the paper's tables (I and II).
+
+use super::figures::sgemm_sweep;
+use super::{run_sweep, Artifact, Scale};
+use metrics::report::{f, pct, Table};
+use uvm_driver::PrefetchPolicy;
+use uvm_sim::WorkloadKind;
+
+/// **Table I** — application fault reduction: total faults without
+/// prefetching vs with the stock density prefetcher, per workload, at
+/// relatively large undersubscribed sizes. The paper reports ≥64 %
+/// reduction everywhere, with random and sgemm above 96 %.
+pub fn table1(scale: Scale) -> Artifact {
+    let ratio = 0.6;
+    let mut points = Vec::new();
+    for &k in &WorkloadKind::ALL {
+        let w = scale.workload(k, ratio);
+        points.push((
+            {
+                let mut c = scale.config();
+                c.driver.prefetch = PrefetchPolicy::Disabled;
+                c
+            },
+            w.clone(),
+        ));
+        points.push((scale.config(), w));
+    }
+    let reports = run_sweep(points);
+
+    let mut table = Table::new(
+        "Table I: application fault reduction from prefetching",
+        &[
+            "workload",
+            "total_faults",
+            "faults_w_prefetch",
+            "reduction_pct",
+        ],
+    );
+    for (i, k) in WorkloadKind::ALL.iter().enumerate() {
+        let off = &reports[2 * i];
+        let on = &reports[2 * i + 1];
+        let total = off.total_faults();
+        let with = on.total_faults();
+        let reduction = if total == 0 {
+            0.0
+        } else {
+            1.0 - with as f64 / total as f64
+        };
+        table.row(vec![
+            k.label().into(),
+            format!("{total}"),
+            format!("{with}"),
+            pct(reduction),
+        ]);
+    }
+    Artifact::table(table)
+}
+
+/// **Table II** — SGEMM fault scaling across the oversubscription
+/// boundary: faults, pages evicted, and pages-evicted-per-fault rising
+/// with problem size.
+pub fn table2(scale: Scale) -> Artifact {
+    let reports = sgemm_sweep(scale);
+    let mut table = Table::new(
+        "Table II: sgemm fault scaling with oversubscription",
+        &[
+            "n",
+            "ratio",
+            "faults",
+            "pages_evicted",
+            "evictions_per_fault",
+        ],
+    );
+    for (n, r) in &reports {
+        table.row(vec![
+            format!("{n}"),
+            f(r.subscription_ratio, 2),
+            format!("{}", r.total_faults()),
+            format!("{}", r.counters.pages_evicted_total()),
+            f(r.counters.evictions_per_fault(), 3),
+        ]);
+    }
+    Artifact::table(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_all_workloads_present() {
+        let a = table1(Scale::QUICK);
+        assert_eq!(a.table.num_rows(), 8);
+        let csv = a.table.to_csv();
+        for k in WorkloadKind::ALL {
+            assert!(csv.contains(k.label()));
+        }
+    }
+
+    #[test]
+    fn table1_prefetch_reduces_faults_everywhere() {
+        let a = table1(Scale::QUICK);
+        for line in a.table.to_csv().lines().skip(1) {
+            let cells: Vec<&str> = line.split(',').collect();
+            let total: u64 = cells[1].parse().unwrap();
+            let with: u64 = cells[2].parse().unwrap();
+            assert!(with < total, "{}: {with} !< {total}", cells[0]);
+            let reduction: f64 = cells[3].parse().unwrap();
+            assert!(
+                reduction > 30.0,
+                "{}: only {reduction}% reduction",
+                cells[0]
+            );
+        }
+    }
+}

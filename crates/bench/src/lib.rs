@@ -1,0 +1,19 @@
+//! # bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! paper's evaluation. Each experiment is a plain function returning a
+//! [`metrics::report::Table`] (plus CSV-able traces for the scatter
+//! figures), shared by:
+//!
+//! * the `repro` binary — `repro <experiment>` prints the regenerated
+//!   table/series, `repro all` regenerates everything;
+//! * the Criterion benches in `benches/` — one group per table/figure.
+//!
+//! Experiments run on a geometrically scaled platform (default GPU memory
+//! = 12 GB × `scale`) so the full suite completes on a laptop while
+//! preserving the subscription *ratios* that determine the paper's
+//! crossovers; see EXPERIMENTS.md for the paper-vs-measured record.
+
+pub mod experiments;
+
+pub use experiments::Scale;

@@ -1,0 +1,230 @@
+//! Volta-style memory access counters (paper §VI-B3).
+//!
+//! Since Volta, NVIDIA GPUs can count accesses to remote or local memory
+//! at configurable granularity and raise a *notification* into a buffer
+//! once a region's count crosses a threshold — information the stock UVM
+//! driver does not use, but which the paper identifies as an opening for
+//! smarter eviction (and which Ganguly et al. simulate). This module
+//! models that hardware: per-region counters, a notify threshold, and a
+//! bounded notification buffer with drop-on-overflow semantics.
+
+use serde::{Deserialize, Serialize};
+use sim_engine::units::PAGES_PER_VABLOCK;
+use std::collections::HashMap;
+
+/// Access-counter hardware configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccessCounterConfig {
+    /// Enable the counters (off by default, like the stock driver).
+    pub enabled: bool,
+    /// Counting granularity in pages (Volta supports 64 KB–16 MB; the
+    /// default matches the VABlock so notifications align with the
+    /// driver's eviction unit).
+    pub granularity_pages: u64,
+    /// Accesses to a region before a notification fires (and the
+    /// region's counter resets).
+    pub threshold: u32,
+    /// Notification buffer capacity; overflow drops notifications (and
+    /// counts them).
+    pub buffer_capacity: usize,
+}
+
+impl Default for AccessCounterConfig {
+    fn default() -> Self {
+        AccessCounterConfig {
+            enabled: false,
+            granularity_pages: PAGES_PER_VABLOCK as u64,
+            threshold: 256,
+            buffer_capacity: 256,
+        }
+    }
+}
+
+/// One access-counter notification: a region got hot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessNotification {
+    /// Region index (page index ÷ granularity).
+    pub region: u64,
+    /// Counter value at notification time (= threshold).
+    pub count: u32,
+}
+
+impl AccessNotification {
+    /// First page of the notifying region under `granularity_pages`.
+    pub fn first_page(&self, granularity_pages: u64) -> u64 {
+        self.region * granularity_pages
+    }
+}
+
+/// The counting unit: per-region counters plus the notification buffer.
+#[derive(Debug, Clone)]
+pub struct AccessCounters {
+    cfg: AccessCounterConfig,
+    counts: HashMap<u64, u32>,
+    pending: Vec<AccessNotification>,
+    dropped: u64,
+    notified: u64,
+}
+
+impl AccessCounters {
+    /// Build the unit (counts nothing when disabled).
+    pub fn new(cfg: AccessCounterConfig) -> Self {
+        assert!(cfg.granularity_pages > 0, "granularity must be nonzero");
+        assert!(cfg.threshold > 0, "threshold must be nonzero");
+        AccessCounters {
+            cfg,
+            counts: HashMap::new(),
+            pending: Vec::new(),
+            dropped: 0,
+            notified: 0,
+        }
+    }
+
+    /// True if counting is enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.cfg.enabled
+    }
+
+    /// Record one access to `page`. Fires a notification when the
+    /// region's count reaches the threshold.
+    #[inline]
+    pub fn record(&mut self, page: u64) {
+        if !self.cfg.enabled {
+            return;
+        }
+        let region = page / self.cfg.granularity_pages;
+        let c = self.counts.entry(region).or_insert(0);
+        *c += 1;
+        if *c >= self.cfg.threshold {
+            *c = 0;
+            if self.pending.len() < self.cfg.buffer_capacity {
+                self.pending.push(AccessNotification {
+                    region,
+                    count: self.cfg.threshold,
+                });
+                self.notified += 1;
+            } else {
+                self.dropped += 1;
+            }
+        }
+    }
+
+    /// Drain pending notifications (the driver's read of the buffer),
+    /// in region order for determinism.
+    pub fn drain(&mut self) -> Vec<AccessNotification> {
+        let mut out = std::mem::take(&mut self.pending);
+        out.sort_by_key(|n| n.region);
+        out
+    }
+
+    /// Notifications dropped to a full buffer.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total notifications ever raised.
+    pub fn notified(&self) -> u64 {
+        self.notified
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AccessCounterConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enabled(threshold: u32, capacity: usize) -> AccessCounters {
+        AccessCounters::new(AccessCounterConfig {
+            enabled: true,
+            granularity_pages: 512,
+            threshold,
+            buffer_capacity: capacity,
+        })
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut ac = AccessCounters::new(AccessCounterConfig::default());
+        for _ in 0..10_000 {
+            ac.record(1);
+        }
+        assert!(ac.drain().is_empty());
+        assert_eq!(ac.notified(), 0);
+        assert!(!ac.is_enabled());
+    }
+
+    #[test]
+    fn threshold_fires_and_resets() {
+        let mut ac = enabled(4, 16);
+        for _ in 0..3 {
+            ac.record(100);
+        }
+        assert!(ac.drain().is_empty(), "below threshold");
+        ac.record(100);
+        let n = ac.drain();
+        assert_eq!(
+            n,
+            vec![AccessNotification {
+                region: 0,
+                count: 4
+            }]
+        );
+        // Counter reset: three more accesses stay quiet.
+        for _ in 0..3 {
+            ac.record(100);
+        }
+        assert!(ac.drain().is_empty());
+    }
+
+    #[test]
+    fn regions_partition_by_granularity() {
+        let mut ac = enabled(1, 16);
+        ac.record(511); // region 0
+        ac.record(512); // region 1
+        ac.record(1024); // region 2
+        let regions: Vec<u64> = ac.drain().iter().map(|n| n.region).collect();
+        assert_eq!(regions, vec![0, 1, 2]);
+        assert_eq!(
+            AccessNotification {
+                region: 2,
+                count: 1
+            }
+            .first_page(512),
+            1024
+        );
+    }
+
+    #[test]
+    fn buffer_overflow_drops() {
+        let mut ac = enabled(1, 2);
+        for p in [0u64, 512, 1024, 1536] {
+            ac.record(p);
+        }
+        assert_eq!(ac.drain().len(), 2);
+        assert_eq!(ac.dropped(), 2);
+        assert_eq!(ac.notified(), 2);
+    }
+
+    #[test]
+    fn drain_clears_and_orders() {
+        let mut ac = enabled(1, 16);
+        ac.record(5 * 512);
+        ac.record(512);
+        let n = ac.drain();
+        assert_eq!(n.iter().map(|x| x.region).collect::<Vec<_>>(), vec![1, 5]);
+        assert!(ac.drain().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be nonzero")]
+    fn zero_threshold_rejected() {
+        let _ = AccessCounters::new(AccessCounterConfig {
+            threshold: 0,
+            ..AccessCounterConfig::default()
+        });
+    }
+}

@@ -1,0 +1,100 @@
+//! Copy-engine transfer accounting and the explicit-transfer baseline.
+//!
+//! Every byte that crosses the host–device interconnect is logged here, in
+//! both directions. The totals drive the paper's data-movement analyses
+//! (e.g. §V-A3: a random-access workload moving 504 GB for a 32 GB
+//! footprint) and the explicit `cudaMemcpy` baseline of Figure 1.
+
+use serde::{Deserialize, Serialize};
+use sim_engine::{CostModel, SimDuration};
+
+/// Running totals of interconnect traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransferLog {
+    /// Bytes moved host→device.
+    pub h2d_bytes: u64,
+    /// Bytes moved device→host.
+    pub d2h_bytes: u64,
+    /// Number of host→device DMA operations.
+    pub h2d_ops: u64,
+    /// Number of device→host DMA operations.
+    pub d2h_ops: u64,
+}
+
+impl TransferLog {
+    /// Record one host→device transfer.
+    pub fn record_h2d(&mut self, bytes: u64) {
+        self.h2d_bytes += bytes;
+        self.h2d_ops += 1;
+    }
+
+    /// Record one device→host transfer.
+    pub fn record_d2h(&mut self, bytes: u64) {
+        self.d2h_bytes += bytes;
+        self.d2h_ops += 1;
+    }
+
+    /// Total bytes moved in both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.h2d_bytes + self.d2h_bytes
+    }
+
+    /// Merge another log into this one.
+    pub fn merge(&mut self, other: &TransferLog) {
+        self.h2d_bytes += other.h2d_bytes;
+        self.d2h_bytes += other.d2h_bytes;
+        self.h2d_ops += other.h2d_ops;
+        self.d2h_ops += other.d2h_ops;
+    }
+}
+
+/// The explicit-management baseline: one bulk `cudaMemcpy`-style transfer
+/// of the whole working set, as a programmer doing manual memory
+/// management would issue (Figure 1's "direct transfer" series).
+pub fn explicit_transfer(cost: &CostModel, bytes: u64, log: &mut TransferLog) -> SimDuration {
+    log.record_h2d(bytes);
+    cost.explicit_transfer(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_engine::units::GIB;
+
+    #[test]
+    fn log_accumulates() {
+        let mut log = TransferLog::default();
+        log.record_h2d(100);
+        log.record_h2d(200);
+        log.record_d2h(50);
+        assert_eq!(log.h2d_bytes, 300);
+        assert_eq!(log.h2d_ops, 2);
+        assert_eq!(log.d2h_bytes, 50);
+        assert_eq!(log.d2h_ops, 1);
+        assert_eq!(log.total_bytes(), 350);
+    }
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = TransferLog::default();
+        a.record_h2d(10);
+        let mut b = TransferLog::default();
+        b.record_d2h(20);
+        b.record_h2d(5);
+        a.merge(&b);
+        assert_eq!(a.h2d_bytes, 15);
+        assert_eq!(a.d2h_bytes, 20);
+        assert_eq!(a.h2d_ops, 2);
+        assert_eq!(a.d2h_ops, 1);
+    }
+
+    #[test]
+    fn explicit_transfer_is_bandwidth_bound() {
+        let cost = CostModel::default();
+        let mut log = TransferLog::default();
+        let t = explicit_transfer(&cost, 12 * GIB, &mut log);
+        // 12 GiB at 12 GB/s ≈ 1.07 s, plus tiny setup.
+        assert!((1.0..1.2).contains(&t.as_secs_f64()), "t = {t}");
+        assert_eq!(log.h2d_bytes, 12 * GIB);
+    }
+}

@@ -1,0 +1,792 @@
+//! Loosely-timed GPU execution model.
+//!
+//! A workload is a grid of thread blocks; each block carries a
+//! page-granularity access trace organised into *steps* (the set of pages
+//! the block's warps touch concurrently). The engine keeps up to
+//! `max_blocks_resident` blocks active (SM occupancy), issues steps
+//! round-robin across active blocks (modelling the interleaved,
+//! nondeterministic fault order the paper observes in Fig. 7), raises
+//! far-faults for non-resident pages into the [`FaultBuffer`] with per-µTLB
+//! deduplication, and stalls blocks until the driver issues a *replay*.
+//!
+//! Replay semantics follow the hardware (paper §III-E): a replay resumes
+//! **all** stalled warps; accesses whose pages are now resident proceed,
+//! the rest fault again — generating duplicate faults if their old entries
+//! are still in the buffer (which is exactly why the default policy
+//! flushes).
+
+use crate::access_counters::{AccessCounterConfig, AccessCounters, AccessNotification};
+use crate::addr::{AccessType, GlobalPage};
+use crate::fault::{FaultBuffer, FaultEntry};
+use serde::{Deserialize, Serialize};
+use sim_engine::{SimDuration, SimRng, SimTime};
+use std::collections::HashSet;
+
+/// Read-only residency oracle: "is this page currently mapped on the GPU?"
+///
+/// Implemented by the UVM driver's address-space bookkeeping; the GPU
+/// engine is oblivious to how residency is managed.
+pub trait Residency {
+    /// True if `page` is resident (mapped) in GPU memory.
+    fn is_resident(&self, page: GlobalPage) -> bool;
+}
+
+/// GPU hardware configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuConfig {
+    /// Number of SMs (Titan V: 80).
+    pub num_sms: usize,
+    /// Maximum thread blocks concurrently resident across all SMs.
+    pub max_blocks_resident: usize,
+    /// Number of µTLBs (fault-dedup domains). Faults for the same page
+    /// from the same µTLB coalesce into one buffer entry; from different
+    /// µTLBs they duplicate.
+    pub num_utlbs: usize,
+    /// Maximum outstanding (unserviced) faults a single µTLB tracks;
+    /// beyond this the µTLB stalls accesses without recording new faults.
+    pub max_outstanding_per_utlb: usize,
+    /// Volta-style access counters (paper §VI-B3): when enabled the
+    /// hardware counts non-faulting accesses per region and raises
+    /// notifications an access-counter-aware eviction policy can use.
+    pub access_counters: AccessCounterConfig,
+    /// Omniscient per-page use tracking (simulator-level analysis, not a
+    /// hardware feature): records every page the kernel actually reads or
+    /// writes, enabling prefetch-waste accounting (pages prefetched but
+    /// never used — paper §VI-A).
+    pub track_page_use: bool,
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        GpuConfig {
+            num_sms: 80,
+            max_blocks_resident: 1280,
+            num_utlbs: 80,
+            max_outstanding_per_utlb: 16,
+            access_counters: AccessCounterConfig::default(),
+            track_page_use: false,
+        }
+    }
+}
+
+/// Access trace of one thread block.
+///
+/// `pages`/`writes` are flat arrays over all accesses; `step_ends[i]` is
+/// the exclusive end index of step `i`. All pages of a step are issued
+/// concurrently; the block can only advance past a step when every page of
+/// the step is resident.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct BlockTrace {
+    pages: Vec<GlobalPage>,
+    writes: Vec<bool>,
+    step_ends: Vec<u32>,
+    /// GPU wall-time contribution of one completed step assuming ideal
+    /// whole-GPU utilisation (workload generators compute this as
+    /// step FLOPs ÷ aggregate GPU FLOP rate, or bytes ÷ device memory
+    /// bandwidth for bandwidth-bound kernels). Drives the compute-rate
+    /// figures.
+    pub step_cost: SimDuration,
+}
+
+impl BlockTrace {
+    /// Create an empty trace with the given per-step compute cost.
+    pub fn new(step_cost: SimDuration) -> Self {
+        BlockTrace {
+            pages: Vec::new(),
+            writes: Vec::new(),
+            step_ends: Vec::new(),
+            step_cost,
+        }
+    }
+
+    /// Append a step touching `pages` (true in `write` marks dirtying
+    /// accesses; one flag applied to all pages of the step).
+    pub fn push_step(&mut self, pages: impl IntoIterator<Item = GlobalPage>, write: bool) {
+        let before = self.pages.len();
+        self.pages.extend(pages);
+        self.writes
+            .extend(std::iter::repeat_n(write, self.pages.len() - before));
+        assert!(
+            self.pages.len() > before,
+            "a step must touch at least one page"
+        );
+        assert!(self.pages.len() <= u32::MAX as usize, "trace too long");
+        self.step_ends.push(self.pages.len() as u32);
+    }
+
+    /// Append a step with per-page write flags.
+    pub fn push_step_mixed(&mut self, accesses: impl IntoIterator<Item = (GlobalPage, bool)>) {
+        let before = self.pages.len();
+        for (p, w) in accesses {
+            self.pages.push(p);
+            self.writes.push(w);
+        }
+        assert!(
+            self.pages.len() > before,
+            "a step must touch at least one page"
+        );
+        self.step_ends.push(self.pages.len() as u32);
+    }
+
+    /// Number of steps.
+    pub fn num_steps(&self) -> usize {
+        self.step_ends.len()
+    }
+
+    /// Total page accesses in the trace.
+    pub fn num_accesses(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// The accesses of step `i` as `(page, is_write)` pairs.
+    pub fn step(&self, i: usize) -> impl Iterator<Item = (GlobalPage, bool)> + '_ {
+        let start = if i == 0 {
+            0
+        } else {
+            self.step_ends[i - 1] as usize
+        };
+        let end = self.step_ends[i] as usize;
+        self.pages[start..end]
+            .iter()
+            .copied()
+            .zip(self.writes[start..end].iter().copied())
+    }
+}
+
+/// A full grid: the blocks of one kernel launch, plus metadata.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct WorkloadTrace {
+    /// Human-readable workload name (e.g. "sgemm").
+    pub name: String,
+    /// Per-block traces, in block-ID order.
+    pub blocks: Vec<BlockTrace>,
+    /// Total distinct pages the workload touches (its memory footprint).
+    pub footprint_pages: u64,
+}
+
+impl WorkloadTrace {
+    /// Total accesses across all blocks.
+    pub fn total_accesses(&self) -> u64 {
+        self.blocks.iter().map(|b| b.num_accesses() as u64).sum()
+    }
+
+    /// Total steps across all blocks.
+    pub fn total_steps(&self) -> u64 {
+        self.blocks.iter().map(|b| b.num_steps() as u64).sum()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BlockStatus {
+    /// Waiting for an SM slot.
+    Pending,
+    /// On an SM, able to issue.
+    Runnable,
+    /// On an SM, waiting for a replay.
+    Stalled,
+    /// Finished its trace.
+    Done,
+}
+
+/// Result of letting the GPU run until it can make no further progress.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineStatus {
+    /// Every block has completed its trace.
+    Done,
+    /// All resident blocks are stalled on faults; the driver must act.
+    Stalled,
+}
+
+/// Counters the engine accumulates (device-side view).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineCounters {
+    /// Page accesses that hit resident pages.
+    pub resident_accesses: u64,
+    /// Faults written into the buffer.
+    pub faults_raised: u64,
+    /// Faults coalesced away by per-µTLB dedup.
+    pub faults_coalesced: u64,
+    /// Faults suppressed by µTLB outstanding-limit flow control.
+    pub faults_throttled: u64,
+    /// Faults lost to a full fault buffer.
+    pub faults_dropped: u64,
+    /// Replays received.
+    pub replays: u64,
+    /// Completed block steps.
+    pub steps_completed: u64,
+}
+
+/// A stalled block's remaining missing accesses (page, is_write).
+type PendingAccesses = Box<[(GlobalPage, bool)]>;
+
+/// The GPU execution engine.
+#[derive(Debug)]
+pub struct GpuEngine {
+    cfg: GpuConfig,
+    trace: WorkloadTrace,
+    status: Vec<BlockStatus>,
+    cursor: Vec<u32>,
+    /// Remaining missing accesses of each stalled block's current step —
+    /// retries after a replay only re-check what was missing, not the
+    /// whole step.
+    pending: Vec<Option<PendingAccesses>>,
+    active: Vec<u32>,
+    next_pending: u32,
+    /// Outstanding faulted pages per µTLB (dedup + flow-control domain).
+    outstanding: Vec<HashSet<GlobalPage>>,
+    counters: EngineCounters,
+    compute_work: SimDuration,
+    access_counters: AccessCounters,
+    /// One bit per page: set when the kernel actually used the page
+    /// (only populated when `track_page_use` is enabled).
+    accessed: Vec<u64>,
+    rng: SimRng,
+}
+
+impl GpuEngine {
+    /// Launch `trace` on a GPU with configuration `cfg`.
+    pub fn launch(cfg: GpuConfig, trace: WorkloadTrace, rng: SimRng) -> Self {
+        assert!(cfg.num_sms > 0 && cfg.max_blocks_resident > 0 && cfg.num_utlbs > 0);
+        let n = trace.blocks.len();
+        let accessed = if cfg.track_page_use {
+            let max_page = trace
+                .blocks
+                .iter()
+                .flat_map(|b| (0..b.num_steps()).flat_map(|s| b.step(s).map(|(p, _)| p.0)))
+                .max()
+                .unwrap_or(0);
+            vec![0u64; (max_page as usize + 64) / 64]
+        } else {
+            Vec::new()
+        };
+        let access_counters = AccessCounters::new(cfg.access_counters.clone());
+        let mut eng = GpuEngine {
+            outstanding: (0..cfg.num_utlbs).map(|_| HashSet::new()).collect(),
+            cfg,
+            status: vec![BlockStatus::Pending; n],
+            cursor: vec![0; n],
+            pending: vec![None; n],
+            active: Vec::new(),
+            next_pending: 0,
+            trace,
+            counters: EngineCounters::default(),
+            compute_work: SimDuration::ZERO,
+            access_counters,
+            accessed,
+            rng,
+        };
+        eng.refill_active();
+        eng
+    }
+
+    fn refill_active(&mut self) {
+        // The block scheduler prefers lower-numbered blocks (paper §IV-B)
+        // but fills slots as they free, so late blocks interleave with
+        // stragglers.
+        while self.active.len() < self.cfg.max_blocks_resident
+            && (self.next_pending as usize) < self.status.len()
+        {
+            let b = self.next_pending;
+            self.next_pending += 1;
+            if self.trace.blocks[b as usize].num_steps() == 0 {
+                self.status[b as usize] = BlockStatus::Done;
+                continue;
+            }
+            self.status[b as usize] = BlockStatus::Runnable;
+            self.active.push(b);
+        }
+    }
+
+    #[inline]
+    fn utlb_of(&self, block: u32) -> usize {
+        (block as usize) % self.cfg.num_utlbs
+    }
+
+    /// Attempt the current step of `block`; returns true if it advanced.
+    fn attempt_step<R: Residency>(
+        &mut self,
+        block: u32,
+        residency: &R,
+        buffer: &mut FaultBuffer,
+        now: SimTime,
+    ) -> bool {
+        let utlb = self.utlb_of(block) as u32;
+
+        // Retry only the accesses that were missing last time, if any.
+        let mut to_raise: Vec<(GlobalPage, bool)> = Vec::new();
+        let track = self.access_counters.is_enabled();
+        let mut touched: Vec<u64> = Vec::new();
+        {
+            let step = self.cursor[block as usize] as usize;
+            let bt = &self.trace.blocks[block as usize];
+            let cached = self.pending[block as usize].take();
+            let accesses: Box<dyn Iterator<Item = (GlobalPage, bool)> + '_> = match &cached {
+                Some(list) => Box::new(list.iter().copied()),
+                None => Box::new(bt.step(step)),
+            };
+            let use_tracking = !self.accessed.is_empty();
+            for (page, write) in accesses {
+                if residency.is_resident(page) {
+                    self.counters.resident_accesses += 1;
+                    if track {
+                        touched.push(page.0);
+                    }
+                    if use_tracking {
+                        self.accessed[page.0 as usize / 64] |= 1 << (page.0 % 64);
+                    }
+                } else {
+                    to_raise.push((page, write));
+                }
+            }
+        }
+        let missing = !to_raise.is_empty();
+
+        for page in touched {
+            self.access_counters.record(page);
+        }
+        if !missing {
+            self.counters.steps_completed += 1;
+            self.compute_work += self.trace.blocks[block as usize].step_cost;
+            self.cursor[block as usize] += 1;
+            if self.cursor[block as usize] as usize == self.trace.blocks[block as usize].num_steps()
+            {
+                self.status[block as usize] = BlockStatus::Done;
+            }
+            return true;
+        }
+
+        self.pending[block as usize] = Some(to_raise.clone().into_boxed_slice());
+        for (page, write) in to_raise {
+            let set = &mut self.outstanding[utlb as usize];
+            if set.contains(&page) {
+                self.counters.faults_coalesced += 1;
+                continue;
+            }
+            if set.len() >= self.cfg.max_outstanding_per_utlb {
+                self.counters.faults_throttled += 1;
+                continue;
+            }
+            let entry = FaultEntry {
+                page,
+                access: if write {
+                    AccessType::Write
+                } else {
+                    AccessType::Read
+                },
+                timestamp: now,
+                utlb,
+            };
+            if buffer.push(entry) {
+                set.insert(page);
+                self.counters.faults_raised += 1;
+            } else {
+                self.counters.faults_dropped += 1;
+            }
+        }
+        self.status[block as usize] = BlockStatus::Stalled;
+        false
+    }
+
+    /// Run until every resident block is stalled or the grid completes.
+    ///
+    /// Visits active blocks starting from a random rotation (modelling the
+    /// GPU scheduler's nondeterminism, seeded) and lets each runnable
+    /// block issue steps until it stalls on a fault or finishes; freed SM
+    /// slots are refilled and newly activated blocks get their turn. `now`
+    /// is the virtual time stamped onto raised faults.
+    pub fn run<R: Residency>(
+        &mut self,
+        residency: &R,
+        buffer: &mut FaultBuffer,
+        now: SimTime,
+    ) -> EngineStatus {
+        loop {
+            self.active
+                .retain(|&b| !matches!(self.status[b as usize], BlockStatus::Done));
+            let before_refill = self.active.len();
+            self.refill_active();
+            let refilled = self.active.len() > before_refill;
+            if self.active.is_empty() {
+                return EngineStatus::Done;
+            }
+
+            let mut progressed = false;
+            let n = self.active.len();
+            let rot = if n > 1 { self.rng.index(n) } else { 0 };
+            for i in 0..n {
+                let b = self.active[(i + rot) % n];
+                // Run this block to its next stall (or completion).
+                while matches!(self.status[b as usize], BlockStatus::Runnable) {
+                    if self.attempt_step(b, residency, buffer, now) {
+                        progressed = true;
+                    }
+                }
+            }
+            if !progressed && !refilled {
+                let all_stalled = self
+                    .active
+                    .iter()
+                    .all(|&b| matches!(self.status[b as usize], BlockStatus::Stalled));
+                if all_stalled {
+                    return EngineStatus::Stalled;
+                }
+            }
+        }
+    }
+
+    /// Deliver a replay: all stalled warps resume and will retry their
+    /// accesses on the next [`run`](Self::run). Outstanding µTLB fault
+    /// tracking is cleared — retried misses raise fresh faults.
+    pub fn replay(&mut self) {
+        self.counters.replays += 1;
+        for set in &mut self.outstanding {
+            set.clear();
+        }
+        for s in &mut self.status {
+            if matches!(s, BlockStatus::Stalled) {
+                *s = BlockStatus::Runnable;
+            }
+        }
+    }
+
+    /// True once every block has completed.
+    pub fn is_done(&self) -> bool {
+        self.status.iter().all(|s| matches!(s, BlockStatus::Done))
+    }
+
+    /// Accumulated GPU compute time (sum of completed step costs; step
+    /// costs are already normalised to ideal whole-GPU utilisation).
+    pub fn compute_time(&self) -> SimDuration {
+        self.compute_work
+    }
+
+    /// Device-side counters.
+    pub fn counters(&self) -> &EngineCounters {
+        &self.counters
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    /// The launched workload trace.
+    pub fn trace(&self) -> &WorkloadTrace {
+        &self.trace
+    }
+
+    /// True if the kernel actually used `page` (requires
+    /// `track_page_use`; always false otherwise).
+    pub fn page_was_used(&self, page: GlobalPage) -> bool {
+        let w = page.0 as usize / 64;
+        w < self.accessed.len() && self.accessed[w] & (1 << (page.0 % 64)) != 0
+    }
+
+    /// Drain pending access-counter notifications (empty unless the
+    /// counters are enabled). Models the driver reading the
+    /// notification buffer.
+    pub fn drain_access_notifications(&mut self) -> Vec<AccessNotification> {
+        self.access_counters.drain()
+    }
+
+    /// The access-counter unit (for drop/notify statistics).
+    pub fn access_counters(&self) -> &AccessCounters {
+        &self.access_counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultBufferConfig;
+
+    /// Residency stub: pages below a threshold are resident.
+    struct Below(u64);
+    impl Residency for Below {
+        fn is_resident(&self, page: GlobalPage) -> bool {
+            page.0 < self.0
+        }
+    }
+
+    fn single_page_trace(pages: &[u64]) -> WorkloadTrace {
+        let mut bt = BlockTrace::new(SimDuration::from_nanos(100));
+        for &p in pages {
+            bt.push_step([GlobalPage(p)], false);
+        }
+        WorkloadTrace {
+            name: "test".into(),
+            blocks: vec![bt],
+            footprint_pages: pages.len() as u64,
+        }
+    }
+
+    fn engine(trace: WorkloadTrace) -> (GpuEngine, FaultBuffer) {
+        (
+            GpuEngine::launch(GpuConfig::default(), trace, SimRng::from_seed(1)),
+            FaultBuffer::new(FaultBufferConfig::default()),
+        )
+    }
+
+    #[test]
+    fn all_resident_runs_to_completion() {
+        let (mut eng, mut buf) = engine(single_page_trace(&[0, 1, 2, 3]));
+        let st = eng.run(&Below(100), &mut buf, SimTime::ZERO);
+        assert_eq!(st, EngineStatus::Done);
+        assert!(eng.is_done());
+        assert_eq!(eng.counters().resident_accesses, 4);
+        assert_eq!(eng.counters().faults_raised, 0);
+        assert_eq!(eng.counters().steps_completed, 4);
+        assert_eq!(eng.compute_time(), SimDuration::from_nanos(400));
+    }
+
+    #[test]
+    fn miss_raises_fault_and_stalls() {
+        let (mut eng, mut buf) = engine(single_page_trace(&[0, 50]));
+        let st = eng.run(&Below(10), &mut buf, SimTime::ZERO);
+        assert_eq!(st, EngineStatus::Stalled);
+        assert_eq!(buf.len(), 1);
+        assert_eq!(eng.counters().faults_raised, 1);
+        // Replay without fixing residency: refaults (duplicate).
+        eng.replay();
+        let st = eng.run(&Below(10), &mut buf, SimTime::ZERO);
+        assert_eq!(st, EngineStatus::Stalled);
+        assert_eq!(buf.len(), 2, "refault after replay duplicates the entry");
+        // Now make it resident: completes.
+        eng.replay();
+        let st = eng.run(&Below(100), &mut buf, SimTime::ZERO);
+        assert_eq!(st, EngineStatus::Done);
+        assert_eq!(eng.counters().replays, 2);
+    }
+
+    #[test]
+    fn utlb_dedup_coalesces_same_page() {
+        // Two steps in one block both missing the same page: second access
+        // does not write a second entry while the first is outstanding.
+        let mut bt = BlockTrace::new(SimDuration::ZERO);
+        bt.push_step([GlobalPage(50), GlobalPage(50)], false);
+        let trace = WorkloadTrace {
+            name: "t".into(),
+            blocks: vec![bt],
+            footprint_pages: 1,
+        };
+        let (mut eng, mut buf) = engine(trace);
+        eng.run(&Below(10), &mut buf, SimTime::ZERO);
+        assert_eq!(buf.len(), 1);
+        assert_eq!(eng.counters().faults_coalesced, 1);
+    }
+
+    #[test]
+    fn different_utlbs_duplicate_same_page() {
+        // Two blocks (different µTLBs since num_utlbs > 1) fault the same
+        // page: two entries appear — the cross-SM duplication the paper
+        // describes.
+        let mut b0 = BlockTrace::new(SimDuration::ZERO);
+        b0.push_step([GlobalPage(50)], false);
+        let mut b1 = BlockTrace::new(SimDuration::ZERO);
+        b1.push_step([GlobalPage(50)], false);
+        let trace = WorkloadTrace {
+            name: "t".into(),
+            blocks: vec![b0, b1],
+            footprint_pages: 1,
+        };
+        let (mut eng, mut buf) = engine(trace);
+        eng.run(&Below(10), &mut buf, SimTime::ZERO);
+        assert_eq!(buf.len(), 2);
+    }
+
+    #[test]
+    fn occupancy_limits_active_blocks() {
+        let cfg = GpuConfig {
+            max_blocks_resident: 2,
+            ..GpuConfig::default()
+        };
+        // 4 blocks each stalling on a distinct non-resident page: only the
+        // first 2 get SM slots, so only 2 faults are raised.
+        let blocks: Vec<BlockTrace> = (0..4)
+            .map(|i| {
+                let mut bt = BlockTrace::new(SimDuration::ZERO);
+                bt.push_step([GlobalPage(100 + i)], false);
+                bt
+            })
+            .collect();
+        let trace = WorkloadTrace {
+            name: "t".into(),
+            blocks,
+            footprint_pages: 4,
+        };
+        let mut eng = GpuEngine::launch(cfg, trace, SimRng::from_seed(1));
+        let mut buf = FaultBuffer::new(FaultBufferConfig::default());
+        eng.run(&Below(10), &mut buf, SimTime::ZERO);
+        assert_eq!(buf.len(), 2);
+    }
+
+    #[test]
+    fn throttle_limits_outstanding_per_utlb() {
+        let cfg = GpuConfig {
+            num_utlbs: 1,
+            max_outstanding_per_utlb: 4,
+            max_blocks_resident: 8,
+            ..GpuConfig::default()
+        };
+        // One block whose single step misses 10 pages through one µTLB.
+        let mut bt = BlockTrace::new(SimDuration::ZERO);
+        bt.push_step((100..110).map(GlobalPage), false);
+        let trace = WorkloadTrace {
+            name: "t".into(),
+            blocks: vec![bt],
+            footprint_pages: 10,
+        };
+        let mut eng = GpuEngine::launch(cfg, trace, SimRng::from_seed(1));
+        let mut buf = FaultBuffer::new(FaultBufferConfig::default());
+        eng.run(&Below(10), &mut buf, SimTime::ZERO);
+        assert_eq!(buf.len(), 4);
+        assert_eq!(eng.counters().faults_throttled, 6);
+    }
+
+    #[test]
+    fn step_gates_on_all_pages() {
+        // A step touching pages 5 (resident) and 50 (not): block stalls,
+        // then completes once 50 is resident; page 5 is not re-counted.
+        let mut bt = BlockTrace::new(SimDuration::ZERO);
+        bt.push_step([GlobalPage(5), GlobalPage(50)], false);
+        let trace = WorkloadTrace {
+            name: "t".into(),
+            blocks: vec![bt],
+            footprint_pages: 2,
+        };
+        let (mut eng, mut buf) = engine(trace);
+        assert_eq!(
+            eng.run(&Below(10), &mut buf, SimTime::ZERO),
+            EngineStatus::Stalled
+        );
+        eng.replay();
+        assert_eq!(
+            eng.run(&Below(100), &mut buf, SimTime::ZERO),
+            EngineStatus::Done
+        );
+    }
+
+    #[test]
+    fn trace_step_iteration() {
+        let mut bt = BlockTrace::new(SimDuration::ZERO);
+        bt.push_step([GlobalPage(1), GlobalPage(2)], true);
+        bt.push_step([GlobalPage(3)], false);
+        assert_eq!(bt.num_steps(), 2);
+        assert_eq!(bt.num_accesses(), 3);
+        let s0: Vec<_> = bt.step(0).collect();
+        assert_eq!(s0, vec![(GlobalPage(1), true), (GlobalPage(2), true)]);
+        let s1: Vec<_> = bt.step(1).collect();
+        assert_eq!(s1, vec![(GlobalPage(3), false)]);
+    }
+
+    #[test]
+    fn empty_grid_is_done_immediately() {
+        let trace = WorkloadTrace {
+            name: "empty".into(),
+            blocks: vec![],
+            footprint_pages: 0,
+        };
+        let mut eng = GpuEngine::launch(GpuConfig::default(), trace, SimRng::from_seed(1));
+        let mut buf = FaultBuffer::new(FaultBufferConfig::default());
+        assert_eq!(
+            eng.run(&Below(0), &mut buf, SimTime::ZERO),
+            EngineStatus::Done
+        );
+        assert!(eng.is_done());
+    }
+
+    #[test]
+    fn zero_step_blocks_complete_without_running() {
+        let trace = WorkloadTrace {
+            name: "noop".into(),
+            blocks: vec![BlockTrace::new(SimDuration::ZERO)],
+            footprint_pages: 0,
+        };
+        let mut eng = GpuEngine::launch(GpuConfig::default(), trace, SimRng::from_seed(1));
+        let mut buf = FaultBuffer::new(FaultBufferConfig::default());
+        assert_eq!(
+            eng.run(&Below(0), &mut buf, SimTime::ZERO),
+            EngineStatus::Done
+        );
+    }
+
+    #[test]
+    fn access_counters_notify_on_hot_regions() {
+        let cfg = GpuConfig {
+            access_counters: crate::access_counters::AccessCounterConfig {
+                enabled: true,
+                threshold: 4,
+                ..Default::default()
+            },
+            ..GpuConfig::default()
+        };
+        // One block re-reading the same resident page 8 times.
+        let mut bt = BlockTrace::new(SimDuration::ZERO);
+        for _ in 0..8 {
+            bt.push_step([GlobalPage(3)], false);
+        }
+        let trace = WorkloadTrace {
+            name: "hot".into(),
+            blocks: vec![bt],
+            footprint_pages: 1,
+        };
+        let mut eng = GpuEngine::launch(cfg, trace, SimRng::from_seed(1));
+        let mut buf = FaultBuffer::new(FaultBufferConfig::default());
+        eng.run(&Below(100), &mut buf, SimTime::ZERO);
+        let notifs = eng.drain_access_notifications();
+        assert_eq!(notifs.len(), 2, "8 accesses at threshold 4");
+        assert!(notifs.iter().all(|n| n.region == 0));
+    }
+
+    #[test]
+    fn page_use_tracking_records_only_used_pages() {
+        let cfg = GpuConfig {
+            track_page_use: true,
+            ..GpuConfig::default()
+        };
+        let mut bt = BlockTrace::new(SimDuration::ZERO);
+        bt.push_step([GlobalPage(7)], false);
+        let trace = WorkloadTrace {
+            name: "one".into(),
+            blocks: vec![bt],
+            footprint_pages: 1,
+        };
+        let mut eng = GpuEngine::launch(cfg, trace, SimRng::from_seed(1));
+        let mut buf = FaultBuffer::new(FaultBufferConfig::default());
+        eng.run(&Below(100), &mut buf, SimTime::ZERO);
+        assert!(eng.page_was_used(GlobalPage(7)));
+        assert!(!eng.page_was_used(GlobalPage(6)));
+        assert!(
+            !eng.page_was_used(GlobalPage(10_000)),
+            "out of range is false"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mk = || {
+            let blocks: Vec<BlockTrace> = (0..20)
+                .map(|i| {
+                    let mut bt = BlockTrace::new(SimDuration::ZERO);
+                    for s in 0..5 {
+                        bt.push_step([GlobalPage(100 + i * 5 + s)], false);
+                    }
+                    bt
+                })
+                .collect();
+            WorkloadTrace {
+                name: "t".into(),
+                blocks,
+                footprint_pages: 100,
+            }
+        };
+        let run = |seed| {
+            let mut eng = GpuEngine::launch(GpuConfig::default(), mk(), SimRng::from_seed(seed));
+            let mut buf = FaultBuffer::new(FaultBufferConfig::default());
+            eng.run(&Below(0), &mut buf, SimTime::ZERO);
+            let (entries, _) = buf.fetch(usize::MAX, SimTime::ZERO + SimDuration::from_secs(1));
+            entries.iter().map(|e| e.page.0).collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7), "same seed, same fault order");
+    }
+}

@@ -1,0 +1,252 @@
+//! Replayable-fault machinery: fault entries and the circular hardware
+//! fault buffer.
+//!
+//! On a page-table-walk miss the GPU MMU writes a fault entry into a
+//! circular buffer in device memory and pushes a pointer onto a queue the
+//! host can read (paper Fig. 2). The buffer has finite capacity: when it is
+//! full further faults are not recorded — the faulting warp simply remains
+//! stalled and will re-raise its fault after the next replay. Entries
+//! become "ready" a little after the pointer is visible, so the driver may
+//! have to poll (paper §III-C).
+
+use crate::addr::{AccessType, GlobalPage};
+use serde::{Deserialize, Serialize};
+use sim_engine::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// One fault record as the driver sees it.
+///
+/// Note what is *not* here: the faulting SM, warp, and thread. The paper
+/// (§IV-A) stresses that the driver only learns the faulting address and
+/// coarse origin (the µTLB/GPC), which is why prefetching cannot use
+/// per-core history. We carry the µTLB id because the hardware dedups
+/// repeated faults per µTLB, not globally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultEntry {
+    /// Faulting page.
+    pub page: GlobalPage,
+    /// Read or write access.
+    pub access: AccessType,
+    /// Virtual time at which the MMU wrote the entry.
+    pub timestamp: SimTime,
+    /// Originating µTLB (coarse origin info only — see above).
+    pub utlb: u32,
+}
+
+/// Configuration of the hardware fault buffer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultBufferConfig {
+    /// Maximum entries the circular buffer holds before dropping faults.
+    pub capacity: usize,
+    /// Delay between an entry's pointer becoming visible and its payload
+    /// being ready to read (models the asynchronicity that forces polling).
+    pub ready_delay: SimDuration,
+}
+
+impl Default for FaultBufferConfig {
+    fn default() -> Self {
+        FaultBufferConfig {
+            capacity: 4096,
+            ready_delay: SimDuration::from_micros(2),
+        }
+    }
+}
+
+/// The circular device-side fault buffer.
+#[derive(Debug, Clone)]
+pub struct FaultBuffer {
+    entries: VecDeque<FaultEntry>,
+    cfg: FaultBufferConfig,
+    /// Faults that could not be recorded because the buffer was full.
+    dropped: u64,
+    /// Total entries ever written.
+    written: u64,
+    /// Total entries ever fetched by the driver.
+    fetched: u64,
+    /// Total entries discarded by buffer flushes.
+    flushed: u64,
+}
+
+impl FaultBuffer {
+    /// Create an empty buffer.
+    pub fn new(cfg: FaultBufferConfig) -> Self {
+        assert!(cfg.capacity > 0, "fault buffer capacity must be nonzero");
+        FaultBuffer {
+            entries: VecDeque::with_capacity(cfg.capacity),
+            cfg,
+            dropped: 0,
+            written: 0,
+            fetched: 0,
+            flushed: 0,
+        }
+    }
+
+    /// Hardware write of a fault entry. Returns `false` (and counts a
+    /// drop) if the buffer is full; the warp stays stalled and will
+    /// re-raise after the next replay.
+    pub fn push(&mut self, entry: FaultEntry) -> bool {
+        if self.entries.len() >= self.cfg.capacity {
+            self.dropped += 1;
+            return false;
+        }
+        self.entries.push_back(entry);
+        self.written += 1;
+        true
+    }
+
+    /// Driver-side fetch of up to `max` entries at virtual time `now`.
+    ///
+    /// Mirrors the driver's pre-processing loop: entries are read in order
+    /// until the queue is empty or the batch is full. An entry whose
+    /// payload is not yet ready costs one polling iteration (the driver
+    /// spins on the ready bit). Returns the fetched entries and the number
+    /// of polls incurred.
+    pub fn fetch(&mut self, max: usize, now: SimTime) -> (Vec<FaultEntry>, u64) {
+        let mut out = Vec::with_capacity(max.min(self.entries.len()));
+        let mut polls = 0;
+        while out.len() < max {
+            let Some(head) = self.entries.front() else {
+                break;
+            };
+            if head.timestamp + self.cfg.ready_delay > now {
+                polls += 1;
+            }
+            out.push(self.entries.pop_front().expect("head checked above"));
+        }
+        self.fetched += out.len() as u64;
+        (out, polls)
+    }
+
+    /// Flush: discard every entry currently in the buffer (the BatchFlush
+    /// and Once replay policies do this before replaying so that resumed
+    /// warps re-faulting do not duplicate entries already present).
+    /// Returns how many entries were discarded.
+    pub fn flush(&mut self) -> usize {
+        let n = self.entries.len();
+        self.flushed += n as u64;
+        self.entries.clear();
+        n
+    }
+
+    /// Entries currently waiting.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no entries are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total faults the hardware failed to record (buffer full).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total entries ever written.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Total entries ever fetched by the driver.
+    pub fn fetched(&self) -> u64 {
+        self.fetched
+    }
+
+    /// Total entries discarded by flushes.
+    pub fn flushed(&self) -> u64 {
+        self.flushed
+    }
+
+    /// Buffer capacity.
+    pub fn capacity(&self) -> usize {
+        self.cfg.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(page: u64, t_us: u64) -> FaultEntry {
+        FaultEntry {
+            page: GlobalPage(page),
+            access: AccessType::Read,
+            timestamp: SimTime::ZERO + SimDuration::from_micros(t_us),
+            utlb: 0,
+        }
+    }
+
+    fn buf(cap: usize) -> FaultBuffer {
+        FaultBuffer::new(FaultBufferConfig {
+            capacity: cap,
+            ready_delay: SimDuration::from_micros(2),
+        })
+    }
+
+    #[test]
+    fn push_and_fetch_fifo() {
+        let mut b = buf(16);
+        for i in 0..5 {
+            assert!(b.push(entry(i, 0)));
+        }
+        let now = SimTime::ZERO + SimDuration::from_micros(100);
+        let (got, polls) = b.fetch(3, now);
+        assert_eq!(got.iter().map(|e| e.page.0).collect::<Vec<_>>(), [0, 1, 2]);
+        assert_eq!(polls, 0, "old entries are ready");
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.fetched(), 3);
+    }
+
+    #[test]
+    fn overflow_drops() {
+        let mut b = buf(2);
+        assert!(b.push(entry(0, 0)));
+        assert!(b.push(entry(1, 0)));
+        assert!(!b.push(entry(2, 0)));
+        assert_eq!(b.dropped(), 1);
+        assert_eq!(b.written(), 2);
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn unready_entries_cost_polls() {
+        let mut b = buf(16);
+        // Written at t=10us, ready at 12us; fetch at 11us => 1 poll each.
+        b.push(entry(0, 10));
+        b.push(entry(1, 10));
+        let (got, polls) = b.fetch(8, SimTime::ZERO + SimDuration::from_micros(11));
+        assert_eq!(got.len(), 2);
+        assert_eq!(polls, 2);
+    }
+
+    #[test]
+    fn flush_discards_and_counts() {
+        let mut b = buf(16);
+        for i in 0..7 {
+            b.push(entry(i, 0));
+        }
+        assert_eq!(b.flush(), 7);
+        assert!(b.is_empty());
+        assert_eq!(b.flushed(), 7);
+        assert_eq!(b.flush(), 0);
+    }
+
+    #[test]
+    fn fetch_respects_batch_limit() {
+        let mut b = buf(512);
+        for i in 0..300 {
+            b.push(entry(i, 0));
+        }
+        let now = SimTime::ZERO + SimDuration::from_micros(100);
+        let (got, _) = b.fetch(256, now);
+        assert_eq!(got.len(), 256);
+        assert_eq!(b.len(), 44);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be nonzero")]
+    fn zero_capacity_rejected() {
+        let _ = buf(0);
+    }
+}

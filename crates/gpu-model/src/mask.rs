@@ -1,0 +1,250 @@
+//! 512-bit page masks: one bit per 4 KB page of a 2 MB VABlock.
+//!
+//! Both the GPU page tables and the UVM driver's per-VABlock bookkeeping
+//! (residency, dirtiness, faulted-in-batch, prefetch candidates) are bit
+//! masks over the 512 pages of a VABlock. The density-prefetch tree is
+//! computed from popcounts over aligned sub-ranges of these masks.
+
+use serde::{Deserialize, Serialize};
+use sim_engine::units::PAGES_PER_VABLOCK;
+
+const WORDS: usize = PAGES_PER_VABLOCK / 64; // 8
+
+/// A fixed 512-bit mask, one bit per page in a VABlock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PageMask {
+    words: [u64; WORDS],
+}
+
+impl Default for PageMask {
+    fn default() -> Self {
+        PageMask::EMPTY
+    }
+}
+
+impl PageMask {
+    /// The empty mask.
+    pub const EMPTY: PageMask = PageMask { words: [0; WORDS] };
+
+    /// The full mask (all 512 pages set).
+    pub const FULL: PageMask = PageMask {
+        words: [u64::MAX; WORDS],
+    };
+
+    /// Set the bit for page `idx` (0..512). Returns true if it was newly set.
+    #[inline]
+    pub fn set(&mut self, idx: usize) -> bool {
+        debug_assert!(idx < PAGES_PER_VABLOCK);
+        let w = idx / 64;
+        let b = 1u64 << (idx % 64);
+        let was = self.words[w] & b != 0;
+        self.words[w] |= b;
+        !was
+    }
+
+    /// Clear the bit for page `idx`. Returns true if it was set.
+    #[inline]
+    pub fn clear(&mut self, idx: usize) -> bool {
+        debug_assert!(idx < PAGES_PER_VABLOCK);
+        let w = idx / 64;
+        let b = 1u64 << (idx % 64);
+        let was = self.words[w] & b != 0;
+        self.words[w] &= !b;
+        was
+    }
+
+    /// Test the bit for page `idx`.
+    #[inline]
+    pub fn get(&self, idx: usize) -> bool {
+        debug_assert!(idx < PAGES_PER_VABLOCK);
+        self.words[idx / 64] & (1u64 << (idx % 64)) != 0
+    }
+
+    /// Number of set bits.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if no bits are set.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// True if all 512 bits are set.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.words.iter().all(|&w| w == u64::MAX)
+    }
+
+    /// Number of set bits in the aligned range `[start, start + len)`.
+    ///
+    /// `start` must be a multiple of `len` and `len` a power of two — the
+    /// shape of density-tree subtrees.
+    pub fn count_range(&self, start: usize, len: usize) -> usize {
+        debug_assert!(len.is_power_of_two());
+        debug_assert_eq!(start % len, 0);
+        debug_assert!(start + len <= PAGES_PER_VABLOCK);
+        if len >= 64 {
+            let w0 = start / 64;
+            let nw = len / 64;
+            self.words[w0..w0 + nw]
+                .iter()
+                .map(|w| w.count_ones() as usize)
+                .sum()
+        } else {
+            let w = self.words[start / 64];
+            let shift = start % 64;
+            let field = (w >> shift) & ((1u64 << len) - 1);
+            field.count_ones() as usize
+        }
+    }
+
+    /// Set every bit in the aligned range `[start, start + len)`.
+    pub fn set_range(&mut self, start: usize, len: usize) {
+        debug_assert!(len.is_power_of_two());
+        debug_assert_eq!(start % len, 0);
+        debug_assert!(start + len <= PAGES_PER_VABLOCK);
+        if len >= 64 {
+            let w0 = start / 64;
+            for w in &mut self.words[w0..w0 + len / 64] {
+                *w = u64::MAX;
+            }
+        } else {
+            let shift = start % 64;
+            self.words[start / 64] |= ((1u64 << len) - 1) << shift;
+        }
+    }
+
+    /// Bitwise OR.
+    #[inline]
+    pub fn union(&self, other: &PageMask) -> PageMask {
+        let mut out = *self;
+        for (a, b) in out.words.iter_mut().zip(other.words.iter()) {
+            *a |= b;
+        }
+        out
+    }
+
+    /// Bitwise AND.
+    #[inline]
+    pub fn intersect(&self, other: &PageMask) -> PageMask {
+        let mut out = *self;
+        for (a, b) in out.words.iter_mut().zip(other.words.iter()) {
+            *a &= b;
+        }
+        out
+    }
+
+    /// Bits set in `self` but not in `other`.
+    #[inline]
+    pub fn difference(&self, other: &PageMask) -> PageMask {
+        let mut out = *self;
+        for (a, b) in out.words.iter_mut().zip(other.words.iter()) {
+            *a &= !b;
+        }
+        out
+    }
+
+    /// In-place OR.
+    #[inline]
+    pub fn or_with(&mut self, other: &PageMask) {
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= b;
+        }
+    }
+
+    /// Iterate over indices of set bits, ascending.
+    pub fn iter_set(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear() {
+        let mut m = PageMask::EMPTY;
+        assert!(m.is_empty());
+        assert!(m.set(0));
+        assert!(!m.set(0), "second set reports already-set");
+        assert!(m.set(511));
+        assert!(m.get(0) && m.get(511) && !m.get(1));
+        assert_eq!(m.count(), 2);
+        assert!(m.clear(0));
+        assert!(!m.clear(0));
+        assert_eq!(m.count(), 1);
+    }
+
+    #[test]
+    fn full_mask() {
+        assert_eq!(PageMask::FULL.count(), 512);
+        assert!(PageMask::FULL.is_full());
+        assert!(!PageMask::EMPTY.is_full());
+    }
+
+    #[test]
+    fn count_range_small_and_large() {
+        let mut m = PageMask::EMPTY;
+        for i in 0..10 {
+            m.set(i * 3); // 0,3,6,...,27
+        }
+        assert_eq!(m.count_range(0, 16), 6); // 0,3,6,9,12,15
+        assert_eq!(m.count_range(16, 16), 4); // 18,21,24,27
+        assert_eq!(m.count_range(0, 64), 10);
+        assert_eq!(m.count_range(0, 512), 10);
+        assert_eq!(m.count_range(64, 64), 0);
+    }
+
+    #[test]
+    fn set_range_subword_and_multiword() {
+        let mut m = PageMask::EMPTY;
+        m.set_range(16, 16);
+        assert_eq!(m.count(), 16);
+        assert!(m.get(16) && m.get(31) && !m.get(15) && !m.get(32));
+        let mut m2 = PageMask::EMPTY;
+        m2.set_range(128, 128);
+        assert_eq!(m2.count(), 128);
+        assert!(m2.get(128) && m2.get(255) && !m2.get(127) && !m2.get(256));
+    }
+
+    #[test]
+    fn set_ops() {
+        let mut a = PageMask::EMPTY;
+        let mut b = PageMask::EMPTY;
+        a.set_range(0, 32);
+        b.set_range(16, 16);
+        b.set(100);
+        assert_eq!(a.union(&b).count(), 33);
+        assert_eq!(a.intersect(&b).count(), 16);
+        assert_eq!(a.difference(&b).count(), 16);
+        let mut c = a;
+        c.or_with(&b);
+        assert_eq!(c, a.union(&b));
+    }
+
+    #[test]
+    fn iter_set_ascending() {
+        let mut m = PageMask::EMPTY;
+        let idxs = [0usize, 5, 63, 64, 200, 511];
+        for &i in &idxs {
+            m.set(i);
+        }
+        let collected: Vec<usize> = m.iter_set().collect();
+        assert_eq!(collected, idxs);
+    }
+}

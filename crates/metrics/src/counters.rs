@@ -1,0 +1,147 @@
+//! Event counters the simulated driver maintains — the numbers behind
+//! Table I (fault reduction) and Table II (SGEMM fault/eviction scaling).
+
+use serde::{Deserialize, Serialize};
+
+/// Driver-side event counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counters {
+    /// Fault entries fetched from the hardware buffer (the paper's
+    /// "total faults" — what instrumented drivers observe).
+    pub faults_fetched: u64,
+    /// Fetched entries discarded as duplicates/already-resident during
+    /// pre-processing.
+    pub duplicate_faults: u64,
+    /// Distinct pages serviced because they faulted.
+    pub pages_faulted_in: u64,
+    /// Pages migrated because the prefetcher asked for them.
+    pub pages_prefetched: u64,
+    /// Pages zeroed on first-touch allocation (no host copy needed).
+    pub pages_zeroed: u64,
+    /// Fault batches processed.
+    pub batches: u64,
+    /// Replay notifications issued.
+    pub replays: u64,
+    /// Fault-buffer flushes performed by the replay policy.
+    pub buffer_flushes: u64,
+    /// Polling iterations on not-yet-ready fault entries.
+    pub polls: u64,
+    /// VABlock evictions performed.
+    pub evictions: u64,
+    /// Pages written back to the host during evictions (the paper's
+    /// "pages evicted" in Table II counts pages requiring migration).
+    pub pages_evicted_migrated: u64,
+    /// Pages released during eviction without write-back (clean).
+    pub pages_evicted_clean: u64,
+    /// PMA allocation calls into the proprietary driver.
+    pub pma_calls: u64,
+    /// VABlocks visited across all batches (service bookkeeping).
+    pub vablocks_serviced: u64,
+    /// Pages migrated by explicit prefetch hints (`cudaMemPrefetchAsync`
+    /// style), outside the fault path.
+    pub pages_hint_prefetched: u64,
+    /// Explicit prefetch-hint calls serviced.
+    pub hint_prefetch_calls: u64,
+    /// VABlocks pinned by the thrashing-mitigation extension.
+    pub thrash_pins: u64,
+    /// Pages migrated device→host because the CPU faulted on them.
+    pub pages_migrated_to_host: u64,
+    /// CPU-side fault episodes serviced (one per host access call).
+    pub host_fault_calls: u64,
+}
+
+impl Counters {
+    /// Total pages migrated host→device (faulted + prefetched).
+    pub fn pages_migrated_h2d(&self) -> u64 {
+        self.pages_faulted_in + self.pages_prefetched
+    }
+
+    /// Total pages released by evictions (dirty write-backs plus clean
+    /// drops) — Table II's "# Pages Evicted".
+    pub fn pages_evicted_total(&self) -> u64 {
+        self.pages_evicted_migrated + self.pages_evicted_clean
+    }
+
+    /// Pages evicted per driver-observed fault — Table II's tail metric
+    /// (its column satisfies `pages_evicted / faults`). Returns 0.0 when
+    /// no faults were observed.
+    pub fn evictions_per_fault(&self) -> f64 {
+        if self.faults_fetched == 0 {
+            0.0
+        } else {
+            self.pages_evicted_total() as f64 / self.faults_fetched as f64
+        }
+    }
+
+    /// Merge another counter set into this one.
+    pub fn merge(&mut self, o: &Counters) {
+        self.faults_fetched += o.faults_fetched;
+        self.duplicate_faults += o.duplicate_faults;
+        self.pages_faulted_in += o.pages_faulted_in;
+        self.pages_prefetched += o.pages_prefetched;
+        self.pages_zeroed += o.pages_zeroed;
+        self.batches += o.batches;
+        self.replays += o.replays;
+        self.buffer_flushes += o.buffer_flushes;
+        self.polls += o.polls;
+        self.evictions += o.evictions;
+        self.pages_evicted_migrated += o.pages_evicted_migrated;
+        self.pages_evicted_clean += o.pages_evicted_clean;
+        self.pma_calls += o.pma_calls;
+        self.vablocks_serviced += o.vablocks_serviced;
+        self.pages_hint_prefetched += o.pages_hint_prefetched;
+        self.hint_prefetch_calls += o.hint_prefetch_calls;
+        self.thrash_pins += o.thrash_pins;
+        self.pages_migrated_to_host += o.pages_migrated_to_host;
+        self.host_fault_calls += o.host_fault_calls;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pages_migrated_sums_fault_and_prefetch() {
+        let c = Counters {
+            pages_faulted_in: 10,
+            pages_prefetched: 32,
+            ..Counters::default()
+        };
+        assert_eq!(c.pages_migrated_h2d(), 42);
+    }
+
+    #[test]
+    fn evictions_per_fault_handles_zero() {
+        let c = Counters::default();
+        assert_eq!(c.evictions_per_fault(), 0.0);
+        let c = Counters {
+            faults_fetched: 100,
+            pages_evicted_migrated: 150,
+            pages_evicted_clean: 100,
+            ..Counters::default()
+        };
+        assert_eq!(c.pages_evicted_total(), 250);
+        assert!((c.evictions_per_fault() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_all_fields() {
+        let mut a = Counters {
+            faults_fetched: 1,
+            batches: 2,
+            ..Counters::default()
+        };
+        let b = Counters {
+            faults_fetched: 10,
+            evictions: 5,
+            pma_calls: 3,
+            ..Counters::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.faults_fetched, 11);
+        assert_eq!(a.batches, 2);
+        assert_eq!(a.evictions, 5);
+        assert_eq!(a.pma_calls, 3);
+    }
+}

@@ -1,0 +1,31 @@
+//! # metrics
+//!
+//! Instrumentation substrate mirroring the driver instrumentation the
+//! paper's authors added to the open-source NVIDIA UVM kernel module.
+//!
+//! * [`timers`] — per-category virtual-time accounting using the paper's
+//!   taxonomy: *pre/post-processing*, *fault service* (split into Map
+//!   Pages / Migrate Pages / PMA Alloc Pages, as in Fig. 4), *replay
+//!   policy*, and *eviction*.
+//! * [`counters`] — event counters: driver-observed faults, duplicates
+//!   filtered, pages migrated/prefetched, evictions, replays, batches.
+//! * [`histogram`] — log2-bucket histograms of batch composition
+//!   (faults and VABlocks per batch), the paper's §III-D lever.
+//! * [`trace`] — optional capture of per-fault records (page, virtual
+//!   time, order) and eviction records, powering the access-pattern
+//!   scatter figures (Fig. 7 and Fig. 8).
+//! * [`report`] — plain-text table and CSV rendering for the `repro`
+//!   binary that regenerates the paper's tables and figures.
+
+#![warn(missing_docs)]
+
+pub mod counters;
+pub mod histogram;
+pub mod report;
+pub mod timers;
+pub mod trace;
+
+pub use counters::Counters;
+pub use histogram::Histogram;
+pub use timers::{Category, Timers};
+pub use trace::{EventKind, TraceEvent, TraceRecorder};

@@ -1,0 +1,213 @@
+//! Per-category virtual-time accounting.
+//!
+//! The categories follow the paper's instrumentation taxonomy exactly:
+//!
+//! * **Preprocess** — fault fetch from the buffer, polling, bookkeeping,
+//!   sorting into VABlock bins (paper §III-C "pre/post-processing").
+//! * **ServicePma / ServiceMigrate / ServiceMap** — the three service
+//!   sub-categories of Fig. 4: calls into the proprietary physical memory
+//!   allocator, data movement (staging + DMA + zeroing), and page-table
+//!   mapping + membars.
+//! * **ReplayPolicy** — issuing replays and (for flushing policies) fault
+//!   buffer flushes (paper §III-E).
+//! * **Eviction** — write-backs, unmapping, and fault-path restarts
+//!   (paper §V-A).
+
+use serde::{Deserialize, Serialize};
+use sim_engine::SimDuration;
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// The instrumentation categories of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Category {
+    /// Fault fetch/poll/sort (pre- and post-processing).
+    Preprocess,
+    /// Physical memory allocation calls (PMA Alloc Pages in Fig. 4).
+    ServicePma,
+    /// Data migration: staging, DMA, zeroing (Migrate Pages in Fig. 4).
+    ServiceMigrate,
+    /// Page mapping and membars (Map Pages in Fig. 4).
+    ServiceMap,
+    /// Replay-policy work: replay issue, buffer flushes.
+    ReplayPolicy,
+    /// Eviction work: write-back, unmap, fault-path restart.
+    Eviction,
+}
+
+impl Category {
+    /// All categories in presentation order.
+    pub const ALL: [Category; 6] = [
+        Category::Preprocess,
+        Category::ServicePma,
+        Category::ServiceMigrate,
+        Category::ServiceMap,
+        Category::ReplayPolicy,
+        Category::Eviction,
+    ];
+
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Category::Preprocess => "preprocess",
+            Category::ServicePma => "pma_alloc",
+            Category::ServiceMigrate => "migrate",
+            Category::ServiceMap => "map",
+            Category::ReplayPolicy => "replay_policy",
+            Category::Eviction => "eviction",
+        }
+    }
+}
+
+/// Accumulated virtual time per category.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Timers {
+    preprocess: SimDuration,
+    service_pma: SimDuration,
+    service_migrate: SimDuration,
+    service_map: SimDuration,
+    replay_policy: SimDuration,
+    eviction: SimDuration,
+}
+
+impl Timers {
+    /// Charge `d` to `cat`.
+    #[inline]
+    pub fn charge(&mut self, cat: Category, d: SimDuration) {
+        *self.slot(cat) += d;
+    }
+
+    fn slot(&mut self, cat: Category) -> &mut SimDuration {
+        match cat {
+            Category::Preprocess => &mut self.preprocess,
+            Category::ServicePma => &mut self.service_pma,
+            Category::ServiceMigrate => &mut self.service_migrate,
+            Category::ServiceMap => &mut self.service_map,
+            Category::ReplayPolicy => &mut self.replay_policy,
+            Category::Eviction => &mut self.eviction,
+        }
+    }
+
+    /// Time accumulated in `cat`.
+    pub fn get(&self, cat: Category) -> SimDuration {
+        match cat {
+            Category::Preprocess => self.preprocess,
+            Category::ServicePma => self.service_pma,
+            Category::ServiceMigrate => self.service_migrate,
+            Category::ServiceMap => self.service_map,
+            Category::ReplayPolicy => self.replay_policy,
+            Category::Eviction => self.eviction,
+        }
+    }
+
+    /// Total *service* time: the paper's "service" category is the sum of
+    /// the three sub-categories (Fig. 3 vs Fig. 4 granularity).
+    pub fn service_total(&self) -> SimDuration {
+        self.service_pma + self.service_migrate + self.service_map
+    }
+
+    /// Total driver time across all categories.
+    pub fn total(&self) -> SimDuration {
+        self.preprocess + self.service_total() + self.replay_policy + self.eviction
+    }
+
+    /// Fraction of total driver time spent in `cat` (0.0 if no time).
+    pub fn fraction(&self, cat: Category) -> f64 {
+        let total = self.total().as_nanos();
+        if total == 0 {
+            0.0
+        } else {
+            self.get(cat).as_nanos() as f64 / total as f64
+        }
+    }
+}
+
+impl Add for Timers {
+    type Output = Timers;
+    fn add(mut self, rhs: Timers) -> Timers {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for Timers {
+    fn add_assign(&mut self, rhs: Timers) {
+        self.preprocess += rhs.preprocess;
+        self.service_pma += rhs.service_pma;
+        self.service_migrate += rhs.service_migrate;
+        self.service_map += rhs.service_map;
+        self.replay_policy += rhs.replay_policy;
+        self.eviction += rhs.eviction;
+    }
+}
+
+impl fmt::Display for Timers {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for cat in Category::ALL {
+            writeln!(
+                f,
+                "  {:<14} {:>12} ({:>5.1}%)",
+                cat.label(),
+                self.get(cat).to_string(),
+                100.0 * self.fraction(cat)
+            )?;
+        }
+        write!(f, "  {:<14} {:>12}", "total", self.total().to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_and_get() {
+        let mut t = Timers::default();
+        t.charge(Category::Preprocess, SimDuration::from_micros(5));
+        t.charge(Category::Preprocess, SimDuration::from_micros(3));
+        t.charge(Category::ServiceMap, SimDuration::from_micros(2));
+        assert_eq!(t.get(Category::Preprocess), SimDuration::from_micros(8));
+        assert_eq!(t.get(Category::ServiceMap), SimDuration::from_micros(2));
+        assert_eq!(t.get(Category::Eviction), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn service_total_sums_subcategories() {
+        let mut t = Timers::default();
+        t.charge(Category::ServicePma, SimDuration::from_micros(1));
+        t.charge(Category::ServiceMigrate, SimDuration::from_micros(2));
+        t.charge(Category::ServiceMap, SimDuration::from_micros(3));
+        t.charge(Category::Preprocess, SimDuration::from_micros(100));
+        assert_eq!(t.service_total(), SimDuration::from_micros(6));
+        assert_eq!(t.total(), SimDuration::from_micros(106));
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let mut t = Timers::default();
+        for (i, cat) in Category::ALL.iter().enumerate() {
+            t.charge(*cat, SimDuration::from_micros((i + 1) as u64));
+        }
+        let sum: f64 = Category::ALL.iter().map(|&c| t.fraction(c)).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_timers_have_zero_fraction() {
+        let t = Timers::default();
+        assert_eq!(t.fraction(Category::Preprocess), 0.0);
+        assert_eq!(t.total(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn add_merges() {
+        let mut a = Timers::default();
+        a.charge(Category::Eviction, SimDuration::from_micros(4));
+        let mut b = Timers::default();
+        b.charge(Category::Eviction, SimDuration::from_micros(6));
+        b.charge(Category::ReplayPolicy, SimDuration::from_micros(1));
+        let c = a + b;
+        assert_eq!(c.get(Category::Eviction), SimDuration::from_micros(10));
+        assert_eq!(c.get(Category::ReplayPolicy), SimDuration::from_micros(1));
+    }
+}

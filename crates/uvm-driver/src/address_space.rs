@@ -1,0 +1,219 @@
+//! The UVM four-level memory hierarchy (paper §III-A): an address space is
+//! composed of VA *ranges* (one per `cudaMallocManaged` allocation), each
+//! broken into 2 MB *VABlocks*, each composed of 4 KB pages.
+//!
+//! [`ManagedSpace`] is the single source of truth for page residency: the
+//! GPU engine queries it through the [`Residency`] trait on every access,
+//! and the driver mutates it while servicing faults and evicting blocks.
+
+use gpu_model::{GlobalPage, PageMask, Residency, VaBlockIdx};
+use serde::{Deserialize, Serialize};
+use sim_engine::units::{pages_for_bytes, PAGES_PER_VABLOCK};
+
+/// One managed allocation (`cudaMallocManaged`), VABlock-aligned.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VaRange {
+    /// Human-readable label (e.g. "A", "B", "C" for SGEMM's matrices).
+    pub name: String,
+    /// First page of the range (always VABlock-aligned).
+    pub start_page: u64,
+    /// Number of valid pages (the actual allocation size).
+    pub num_pages: u64,
+}
+
+impl VaRange {
+    /// Page at `offset` within the range.
+    #[inline]
+    pub fn page(&self, offset: u64) -> GlobalPage {
+        debug_assert!(offset < self.num_pages, "offset beyond allocation");
+        GlobalPage(self.start_page + offset)
+    }
+
+    /// One past the last valid page.
+    #[inline]
+    pub fn end_page(&self) -> u64 {
+        self.start_page + self.num_pages
+    }
+}
+
+/// Driver-side state of one VABlock.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct VaBlockState {
+    /// Pages of this block that belong to a live allocation (a range's
+    /// final block may be partial).
+    pub valid: PageMask,
+    /// Pages currently resident (mapped) on the GPU.
+    pub resident: PageMask,
+    /// Pages dirtied by write faults (must be written back on eviction).
+    pub dirty: PageMask,
+    /// Pages with physical backing allocated on the GPU.
+    pub backed: PageMask,
+    /// Pages that were ever brought in by the prefetcher (fault-path
+    /// density prefetch or explicit hints) rather than by their own
+    /// fault. Never cleared by eviction — feeds the prefetch-waste
+    /// analysis (paper §VI-A: prefetched data may be evicted unused).
+    pub prefetched_ever: PageMask,
+    /// Times this block has been evicted (diagnostic).
+    pub eviction_count: u32,
+}
+
+impl VaBlockState {
+    /// Bytes of GPU physical memory this block currently holds.
+    pub fn backed_pages(&self) -> usize {
+        self.backed.count()
+    }
+
+    /// True if the block holds no GPU physical memory.
+    pub fn is_unbacked(&self) -> bool {
+        self.backed.is_empty()
+    }
+}
+
+/// The managed virtual address space: ranges, VABlocks, residency.
+#[derive(Debug, Clone, Default)]
+pub struct ManagedSpace {
+    ranges: Vec<VaRange>,
+    blocks: Vec<VaBlockState>,
+}
+
+impl ManagedSpace {
+    /// An empty space with no allocations.
+    pub fn new() -> Self {
+        ManagedSpace::default()
+    }
+
+    /// Allocate a managed range of `bytes`, VABlock-aligned, returning its
+    /// descriptor. Mirrors `cudaMallocManaged`.
+    pub fn alloc(&mut self, bytes: u64, name: impl Into<String>) -> VaRange {
+        assert!(bytes > 0, "zero-byte allocation");
+        let num_pages = pages_for_bytes(bytes);
+        let start_page = (self.blocks.len() * PAGES_PER_VABLOCK) as u64;
+        let num_blocks = num_pages.div_ceil(PAGES_PER_VABLOCK as u64);
+        for b in 0..num_blocks {
+            let mut st = VaBlockState::default();
+            let first = b * PAGES_PER_VABLOCK as u64;
+            let valid_in_block = (num_pages - first).min(PAGES_PER_VABLOCK as u64) as usize;
+            if valid_in_block == PAGES_PER_VABLOCK {
+                st.valid = PageMask::FULL;
+            } else {
+                for i in 0..valid_in_block {
+                    st.valid.set(i);
+                }
+            }
+            self.blocks.push(st);
+        }
+        let range = VaRange {
+            name: name.into(),
+            start_page,
+            num_pages,
+        };
+        self.ranges.push(range.clone());
+        range
+    }
+
+    /// All allocated ranges.
+    pub fn ranges(&self) -> &[VaRange] {
+        &self.ranges
+    }
+
+    /// Number of VABlocks in the space.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Total valid pages across all ranges.
+    pub fn total_pages(&self) -> u64 {
+        self.ranges.iter().map(|r| r.num_pages).sum()
+    }
+
+    /// Borrow a block's state.
+    pub fn block(&self, idx: VaBlockIdx) -> &VaBlockState {
+        &self.blocks[idx.0 as usize]
+    }
+
+    /// Mutably borrow a block's state.
+    pub fn block_mut(&mut self, idx: VaBlockIdx) -> &mut VaBlockState {
+        &mut self.blocks[idx.0 as usize]
+    }
+
+    /// Count of currently resident pages across the space (diagnostic).
+    pub fn resident_pages(&self) -> u64 {
+        self.blocks.iter().map(|b| b.resident.count() as u64).sum()
+    }
+
+    /// True if `page` belongs to some allocation.
+    pub fn is_valid(&self, page: GlobalPage) -> bool {
+        let vb = page.vablock().0 as usize;
+        vb < self.blocks.len() && self.blocks[vb].valid.get(page.offset_in_vablock())
+    }
+}
+
+impl Residency for ManagedSpace {
+    #[inline]
+    fn is_resident(&self, page: GlobalPage) -> bool {
+        let vb = page.vablock().0 as usize;
+        debug_assert!(vb < self.blocks.len(), "access outside managed space");
+        self.blocks[vb].resident.get(page.offset_in_vablock())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_engine::units::{MIB, PAGE_SIZE, VABLOCK_SIZE};
+
+    #[test]
+    fn alloc_is_vablock_aligned_and_sized() {
+        let mut s = ManagedSpace::new();
+        let a = s.alloc(3 * MIB, "a"); // 1.5 VABlocks -> 2 blocks
+        assert_eq!(a.start_page, 0);
+        assert_eq!(a.num_pages, 768);
+        assert_eq!(s.num_blocks(), 2);
+        let b = s.alloc(VABLOCK_SIZE, "b");
+        assert_eq!(
+            b.start_page,
+            2 * 512,
+            "next range starts on a fresh VABlock"
+        );
+        assert_eq!(s.num_blocks(), 3);
+        assert_eq!(s.total_pages(), 768 + 512);
+    }
+
+    #[test]
+    fn partial_final_block_valid_mask() {
+        let mut s = ManagedSpace::new();
+        s.alloc(VABLOCK_SIZE + PAGE_SIZE, "a"); // 513 pages
+        assert_eq!(s.num_blocks(), 2);
+        assert!(s.block(VaBlockIdx(0)).valid.is_full());
+        assert_eq!(s.block(VaBlockIdx(1)).valid.count(), 1);
+        assert!(s.is_valid(GlobalPage(512)));
+        assert!(!s.is_valid(GlobalPage(513)));
+    }
+
+    #[test]
+    fn residency_tracks_block_masks() {
+        let mut s = ManagedSpace::new();
+        s.alloc(VABLOCK_SIZE, "a");
+        let p = GlobalPage(37);
+        assert!(!s.is_resident(p));
+        s.block_mut(VaBlockIdx(0)).resident.set(37);
+        assert!(s.is_resident(p));
+        assert_eq!(s.resident_pages(), 1);
+    }
+
+    #[test]
+    fn range_page_helper() {
+        let mut s = ManagedSpace::new();
+        let _ = s.alloc(VABLOCK_SIZE, "a");
+        let b = s.alloc(VABLOCK_SIZE, "b");
+        assert_eq!(b.page(0), GlobalPage(512));
+        assert_eq!(b.page(5), GlobalPage(517));
+        assert_eq!(b.end_page(), 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-byte")]
+    fn zero_alloc_panics() {
+        ManagedSpace::new().alloc(0, "zero");
+    }
+}

@@ -1,0 +1,192 @@
+//! Fault-batch pre-processing (paper §III-C).
+//!
+//! Per pass, the driver fetches up to a batch (default 256) of fault
+//! entries from the hardware buffer, performs bookkeeping and logical
+//! checks (dropping duplicates and faults for pages that are already
+//! resident — stale entries left by non-flushing replay policies), and
+//! sorts the survivors into their VABlock bins so servicing can coalesce
+//! per-block work.
+
+use crate::address_space::ManagedSpace;
+use gpu_model::{AccessType, FaultBuffer, PageMask, VaBlockIdx};
+use sim_engine::SimTime;
+use std::collections::BTreeMap;
+
+/// The de-duplicated faults of one VABlock within a batch.
+#[derive(Debug, Clone)]
+pub struct FaultGroup {
+    /// The VABlock.
+    pub block: VaBlockIdx,
+    /// New (non-duplicate, non-resident) faulted pages.
+    pub fault_mask: PageMask,
+    /// Subset of `fault_mask` faulted with write access.
+    pub write_mask: PageMask,
+    /// Raw entries that contributed (before deduplication).
+    pub num_entries: u64,
+}
+
+/// One pre-processed batch.
+#[derive(Debug, Clone, Default)]
+pub struct Batch {
+    /// Per-VABlock fault groups in ascending block order (the sort).
+    pub groups: Vec<FaultGroup>,
+    /// Entries fetched from the buffer.
+    pub fetched: u64,
+    /// Entries dropped as duplicates or already-resident.
+    pub duplicates: u64,
+    /// Polling iterations on not-yet-ready entries.
+    pub polls: u64,
+}
+
+impl Batch {
+    /// Total new faulted pages across all groups.
+    pub fn new_fault_pages(&self) -> u64 {
+        self.groups
+            .iter()
+            .map(|g| g.fault_mask.count() as u64)
+            .sum()
+    }
+}
+
+/// Fetch and pre-process one batch of faults.
+pub fn gather(
+    buffer: &mut FaultBuffer,
+    batch_size: usize,
+    now: SimTime,
+    space: &ManagedSpace,
+) -> Batch {
+    let (entries, polls) = buffer.fetch(batch_size, now);
+    let mut bins: BTreeMap<VaBlockIdx, FaultGroup> = BTreeMap::new();
+    let mut duplicates = 0u64;
+    let fetched = entries.len() as u64;
+
+    for e in entries {
+        let vb = e.page.vablock();
+        let off = e.page.offset_in_vablock();
+        let st = space.block(vb);
+        debug_assert!(st.valid.get(off), "fault outside any allocation");
+        if !st.valid.get(off) {
+            // Release-mode hardening: a malformed trace faulting outside
+            // any allocation is dropped as spurious rather than allowed
+            // to corrupt residency bookkeeping.
+            duplicates += 1;
+            continue;
+        }
+        if st.resident.get(off) {
+            // Stale entry: the page was serviced by an earlier batch (the
+            // Batch/Block policies leave such entries behind).
+            duplicates += 1;
+            continue;
+        }
+        let group = bins.entry(vb).or_insert_with(|| FaultGroup {
+            block: vb,
+            fault_mask: PageMask::EMPTY,
+            write_mask: PageMask::EMPTY,
+            num_entries: 0,
+        });
+        group.num_entries += 1;
+        if !group.fault_mask.set(off) {
+            // Same page faulted from two µTLBs within this batch.
+            duplicates += 1;
+        }
+        if matches!(e.access, AccessType::Write) {
+            group.write_mask.set(off);
+        }
+    }
+
+    Batch {
+        groups: bins.into_values().collect(),
+        fetched,
+        duplicates,
+        polls,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_model::{FaultBufferConfig, FaultEntry, GlobalPage};
+    use sim_engine::units::VABLOCK_SIZE;
+    use sim_engine::SimDuration;
+
+    fn setup(pages: &[(u64, AccessType)]) -> (FaultBuffer, ManagedSpace) {
+        let mut buf = FaultBuffer::new(FaultBufferConfig::default());
+        for (i, &(p, a)) in pages.iter().enumerate() {
+            buf.push(FaultEntry {
+                page: GlobalPage(p),
+                access: a,
+                timestamp: SimTime::ZERO,
+                utlb: (i % 4) as u32,
+            });
+        }
+        let mut space = ManagedSpace::new();
+        space.alloc(8 * VABLOCK_SIZE, "data");
+        (buf, space)
+    }
+
+    fn late() -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(1)
+    }
+
+    #[test]
+    fn groups_sorted_by_vablock() {
+        let (mut buf, space) = setup(&[
+            (1024, AccessType::Read), // block 2
+            (3, AccessType::Read),    // block 0
+            (600, AccessType::Read),  // block 1
+        ]);
+        let b = gather(&mut buf, 256, late(), &space);
+        assert_eq!(b.fetched, 3);
+        let blocks: Vec<u64> = b.groups.iter().map(|g| g.block.0).collect();
+        assert_eq!(blocks, vec![0, 1, 2]);
+        assert_eq!(b.new_fault_pages(), 3);
+    }
+
+    #[test]
+    fn same_page_two_utlbs_dedups() {
+        let (mut buf, space) = setup(&[(7, AccessType::Read), (7, AccessType::Read)]);
+        let b = gather(&mut buf, 256, late(), &space);
+        assert_eq!(b.fetched, 2);
+        assert_eq!(b.duplicates, 1);
+        assert_eq!(b.new_fault_pages(), 1);
+        assert_eq!(b.groups[0].num_entries, 2);
+    }
+
+    #[test]
+    fn resident_pages_are_stale_duplicates() {
+        let (mut buf, mut space) = setup(&[(7, AccessType::Read), (9, AccessType::Read)]);
+        space.block_mut(VaBlockIdx(0)).resident.set(7);
+        let b = gather(&mut buf, 256, late(), &space);
+        assert_eq!(b.duplicates, 1);
+        assert_eq!(b.new_fault_pages(), 1);
+        assert!(b.groups[0].fault_mask.get(9));
+        assert!(!b.groups[0].fault_mask.get(7));
+    }
+
+    #[test]
+    fn write_faults_populate_write_mask() {
+        let (mut buf, space) = setup(&[(3, AccessType::Write), (4, AccessType::Read)]);
+        let b = gather(&mut buf, 256, late(), &space);
+        let g = &b.groups[0];
+        assert!(g.write_mask.get(3));
+        assert!(!g.write_mask.get(4));
+    }
+
+    #[test]
+    fn batch_size_bounds_fetch() {
+        let pages: Vec<(u64, AccessType)> = (0..300).map(|i| (i, AccessType::Read)).collect();
+        let (mut buf, space) = setup(&pages);
+        let b = gather(&mut buf, 256, late(), &space);
+        assert_eq!(b.fetched, 256);
+        assert_eq!(buf.len(), 44);
+    }
+
+    #[test]
+    fn empty_buffer_empty_batch() {
+        let (mut buf, space) = setup(&[]);
+        let b = gather(&mut buf, 256, late(), &space);
+        assert_eq!(b.fetched, 0);
+        assert!(b.groups.is_empty());
+        assert_eq!(b.new_fault_pages(), 0);
+    }
+}

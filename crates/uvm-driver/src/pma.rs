@@ -1,0 +1,199 @@
+//! Physical Memory Allocator (PMA) model.
+//!
+//! The UVM driver obtains GPU physical memory by calling into the
+//! proprietary NVIDIA driver. The paper (§III-D) observes that these calls
+//! are expensive and latency-sensitive, so the driver *over-provisions*:
+//! each call reserves a large chunk which is cached and carved up by later
+//! allocations, making allocation cost "relatively constant and negligible
+//! at large sizes" while dominating at small sizes (Fig. 4).
+//!
+//! This model tracks three quantities: `capacity` (GPU memory size),
+//! `reserved` (memory obtained from the proprietary driver so far — never
+//! returned), and `in_use` (memory handed out to VABlock backings). Freed
+//! backings return to the reserved cache and are reused without a new
+//! proprietary call.
+
+use serde::{Deserialize, Serialize};
+use sim_engine::{CostModel, SimDuration, SimRng};
+
+/// Result of a successful PMA allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PmaGrant {
+    /// Virtual time charged (zero when served from the cache).
+    pub cost: SimDuration,
+    /// Number of calls made into the proprietary driver (0 or more; a
+    /// large request may need several chunk reservations).
+    pub calls: u64,
+}
+
+/// Error: GPU memory exhausted — the caller must evict and retry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PmaExhausted {
+    /// Bytes requested.
+    pub requested: u64,
+    /// Bytes currently available (capacity − in_use).
+    pub available: u64,
+}
+
+/// The physical memory allocator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Pma {
+    capacity: u64,
+    reserved: u64,
+    in_use: u64,
+}
+
+impl Pma {
+    /// A PMA managing `capacity` bytes of GPU memory.
+    pub fn new(capacity: u64) -> Self {
+        assert!(capacity > 0, "GPU memory capacity must be nonzero");
+        Pma {
+            capacity,
+            reserved: 0,
+            in_use: 0,
+        }
+    }
+
+    /// Attempt to allocate `bytes` of physical backing.
+    ///
+    /// Serves from the over-provisioned cache when possible; otherwise
+    /// reserves one or more chunks from the proprietary driver, each
+    /// charged at the (jittered) call cost. Fails with [`PmaExhausted`]
+    /// when `in_use + bytes` would exceed capacity — the eviction trigger.
+    pub fn alloc(
+        &mut self,
+        bytes: u64,
+        cost: &CostModel,
+        rng: &mut SimRng,
+    ) -> Result<PmaGrant, PmaExhausted> {
+        if self.in_use + bytes > self.capacity {
+            return Err(PmaExhausted {
+                requested: bytes,
+                available: self.capacity - self.in_use,
+            });
+        }
+        let mut charged = SimDuration::ZERO;
+        let mut calls = 0;
+        while self.reserved < self.in_use + bytes {
+            let chunk = cost.pma_chunk_bytes().min(self.capacity - self.reserved);
+            debug_assert!(chunk > 0, "reserved should never exceed capacity");
+            self.reserved += chunk;
+            charged += cost.pma_alloc_call(rng);
+            calls += 1;
+        }
+        self.in_use += bytes;
+        Ok(PmaGrant {
+            cost: charged,
+            calls,
+        })
+    }
+
+    /// Return `bytes` of backing to the cache (eviction path). The memory
+    /// stays reserved — later allocations reuse it without a call.
+    pub fn free(&mut self, bytes: u64) {
+        assert!(bytes <= self.in_use, "freeing more than allocated");
+        self.in_use -= bytes;
+    }
+
+    /// Bytes currently backing VABlocks.
+    pub fn in_use(&self) -> u64 {
+        self.in_use
+    }
+
+    /// Bytes obtained from the proprietary driver so far.
+    pub fn reserved(&self) -> u64 {
+        self.reserved
+    }
+
+    /// Total GPU memory.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes still allocatable before eviction is needed.
+    pub fn available(&self) -> u64 {
+        self.capacity - self.in_use
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_engine::units::{MIB, VABLOCK_SIZE};
+
+    fn fixture() -> (Pma, CostModel, SimRng) {
+        (
+            Pma::new(64 * MIB),
+            CostModel::default(),
+            SimRng::from_seed(1),
+        )
+    }
+
+    #[test]
+    fn first_alloc_reserves_a_chunk() {
+        let (mut pma, cost, mut rng) = fixture();
+        let g = pma.alloc(VABLOCK_SIZE, &cost, &mut rng).unwrap();
+        assert_eq!(g.calls, 1);
+        assert!(g.cost > SimDuration::ZERO);
+        assert_eq!(pma.in_use(), VABLOCK_SIZE);
+        assert_eq!(pma.reserved(), 32 * MIB, "over-provisioned to chunk size");
+    }
+
+    #[test]
+    fn cached_allocs_are_free() {
+        let (mut pma, cost, mut rng) = fixture();
+        pma.alloc(VABLOCK_SIZE, &cost, &mut rng).unwrap();
+        // Next 15 VABlocks fit in the 32 MiB chunk: zero calls, zero cost.
+        for _ in 0..15 {
+            let g = pma.alloc(VABLOCK_SIZE, &cost, &mut rng).unwrap();
+            assert_eq!(g.calls, 0);
+            assert_eq!(g.cost, SimDuration::ZERO);
+        }
+        // The 17th VABlock needs a second chunk.
+        let g = pma.alloc(VABLOCK_SIZE, &cost, &mut rng).unwrap();
+        assert_eq!(g.calls, 1);
+    }
+
+    #[test]
+    fn exhaustion_reports_available() {
+        let (mut pma, cost, mut rng) = fixture();
+        for _ in 0..32 {
+            pma.alloc(VABLOCK_SIZE, &cost, &mut rng).unwrap();
+        }
+        let err = pma.alloc(VABLOCK_SIZE, &cost, &mut rng).unwrap_err();
+        assert_eq!(err.requested, VABLOCK_SIZE);
+        assert_eq!(err.available, 0);
+    }
+
+    #[test]
+    fn freed_memory_is_reused_without_calls() {
+        let (mut pma, cost, mut rng) = fixture();
+        for _ in 0..32 {
+            pma.alloc(VABLOCK_SIZE, &cost, &mut rng).unwrap();
+        }
+        pma.free(VABLOCK_SIZE);
+        assert_eq!(pma.available(), VABLOCK_SIZE);
+        let g = pma.alloc(VABLOCK_SIZE, &cost, &mut rng).unwrap();
+        assert_eq!(g.calls, 0, "freed backing served from cache");
+        assert_eq!(g.cost, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn chunk_clamped_to_capacity() {
+        // Capacity smaller than one chunk: reservation clamps, no overflow.
+        let mut pma = Pma::new(3 * MIB);
+        let cost = CostModel::default();
+        let mut rng = SimRng::from_seed(2);
+        let g = pma.alloc(2 * MIB, &cost, &mut rng).unwrap();
+        assert_eq!(g.calls, 1);
+        assert_eq!(pma.reserved(), 3 * MIB);
+        assert!(pma.alloc(2 * MIB, &cost, &mut rng).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "freeing more than allocated")]
+    fn over_free_panics() {
+        let (mut pma, _, _) = fixture();
+        pma.free(1);
+    }
+}

@@ -1,0 +1,74 @@
+//! Stage-1 prefetching: the 64 KB "big page" upgrade (paper §IV-A).
+//!
+//! Every faulted 4 KB page is upgraded to its aligned 64 KB big page: the
+//! other 15 pages of the region are flagged for prefetch. This satisfies
+//! common spatial locality and lets x86 (4 KB pages) emulate Power9
+//! (64 KB pages) so other driver code can reason uniformly.
+
+use gpu_model::PageMask;
+use sim_engine::units::{BIG_PAGES_PER_VABLOCK, PAGES_PER_BIG_PAGE};
+
+/// Upgrade each faulted page to its 64 KB-aligned big page. Returns the
+/// mask of all pages covered by a faulted big page (a superset of
+/// `faulted`).
+pub fn upgrade_to_big_pages(faulted: &PageMask) -> PageMask {
+    let mut out = PageMask::EMPTY;
+    for bp in 0..BIG_PAGES_PER_VABLOCK {
+        let start = bp * PAGES_PER_BIG_PAGE;
+        if faulted.count_range(start, PAGES_PER_BIG_PAGE) > 0 {
+            out.set_range(start, PAGES_PER_BIG_PAGE);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_fault_upgrades_its_region() {
+        let mut f = PageMask::EMPTY;
+        f.set(17); // big page 1 covers pages 16..32
+        let up = upgrade_to_big_pages(&f);
+        assert_eq!(up.count(), 16);
+        assert!(up.get(16) && up.get(31));
+        assert!(!up.get(15) && !up.get(32));
+    }
+
+    #[test]
+    fn faults_in_same_region_share_one_upgrade() {
+        let mut f = PageMask::EMPTY;
+        f.set(0);
+        f.set(7);
+        f.set(15);
+        assert_eq!(upgrade_to_big_pages(&f).count(), 16);
+    }
+
+    #[test]
+    fn faults_in_distinct_regions_upgrade_each() {
+        let mut f = PageMask::EMPTY;
+        f.set(0);
+        f.set(100); // big page 6 (96..112)
+        f.set(511); // big page 31 (496..512)
+        let up = upgrade_to_big_pages(&f);
+        assert_eq!(up.count(), 48);
+        assert!(up.get(96) && up.get(111) && up.get(496));
+    }
+
+    #[test]
+    fn empty_in_empty_out() {
+        assert!(upgrade_to_big_pages(&PageMask::EMPTY).is_empty());
+    }
+
+    #[test]
+    fn upgrade_is_superset_and_idempotent() {
+        let mut f = PageMask::EMPTY;
+        for p in [3usize, 77, 300, 444] {
+            f.set(p);
+        }
+        let up = upgrade_to_big_pages(&f);
+        assert_eq!(f.difference(&up).count(), 0, "superset of the faults");
+        assert_eq!(upgrade_to_big_pages(&up), up, "idempotent");
+    }
+}

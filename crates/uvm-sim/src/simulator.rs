@@ -1,0 +1,349 @@
+//! The co-simulation loop coupling the GPU engine and the UVM driver on a
+//! shared virtual clock.
+//!
+//! The loop alternates two phases, mirroring the real system's dynamics
+//! when kernels demand-page (the driver is the serial bottleneck, the
+//! paper's central observation):
+//!
+//! 1. **GPU phase** — the engine issues accesses until every resident
+//!    block is stalled on faults (or the grid finishes). Faults land in
+//!    the hardware buffer.
+//! 2. **Driver phase** — the driver processes batches until it issues a
+//!    replay; its per-category costs advance the virtual clock. The
+//!    replay (after its propagation latency) resumes stalled warps.
+//!
+//! Reported kernel time is `driver critical path + ideal compute time`:
+//! while warps are stalled on faults the GPU makes no progress on their
+//! work, so fault handling serialises with compute — the loosely-timed
+//! approximation that matches the paper's observation that the driver is
+//! the bottleneck for demand-paged kernels.
+
+use crate::config::SimConfig;
+use gpu_model::dma::TransferLog;
+use gpu_model::engine::EngineCounters;
+use gpu_model::{FaultBuffer, GpuEngine};
+use metrics::{Counters, Timers, TraceEvent};
+use serde::{Deserialize, Serialize};
+use sim_engine::units::PAGE_SIZE;
+use sim_engine::{CostModel, SimDuration, SimRng, SimTime};
+use uvm_driver::{ManagedSpace, UvmDriver};
+use workloads::Workload;
+
+/// Everything a run produced: times, breakdowns, counters, traces.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Workload label.
+    pub workload: String,
+    /// Managed footprint in bytes.
+    pub footprint_bytes: u64,
+    /// footprint ÷ GPU memory (oversubscription past 1.0).
+    pub subscription_ratio: f64,
+    /// End-to-end kernel time under UVM demand paging.
+    pub total_time: SimDuration,
+    /// Driver critical-path time (incl. kernel launch).
+    pub driver_time: SimDuration,
+    /// Ideal GPU compute time of the kernel.
+    pub compute_time: SimDuration,
+    /// What the same data movement costs with one explicit
+    /// `cudaMemcpy`-style bulk transfer (Fig. 1's baseline).
+    pub explicit_time: SimDuration,
+    /// Per-category driver timers.
+    pub timers: Timers,
+    /// Driver counters.
+    pub counters: Counters,
+    /// Device-side engine counters.
+    pub engine: EngineCounters,
+    /// Interconnect traffic.
+    pub transfers: TransferLog,
+    /// Captured fault/prefetch/eviction events (empty unless enabled).
+    pub trace: Vec<TraceEvent>,
+    /// Pages the prefetcher brought in that the kernel never used —
+    /// prefetch waste (paper §VI-A). `None` unless
+    /// `gpu.track_page_use` was enabled.
+    pub prefetched_unused_pages: Option<u64>,
+}
+
+impl SimReport {
+    /// Total faults the driver observed — the paper's "total faults".
+    pub fn total_faults(&self) -> u64 {
+        self.counters.faults_fetched
+    }
+
+    /// Total bytes moved over the interconnect in either direction.
+    pub fn bytes_moved(&self) -> u64 {
+        self.transfers.total_bytes()
+    }
+
+    /// Achieved compute rate in FLOP/s given total work `flops`.
+    pub fn compute_rate(&self, flops: f64) -> f64 {
+        flops / self.total_time.as_secs_f64()
+    }
+}
+
+/// Run `workload` under `config` and report.
+pub fn run(config: &SimConfig, workload: &Workload) -> SimReport {
+    let cost = CostModel::new(config.cost.clone());
+    let root = SimRng::from_seed(config.seed);
+
+    let mut space = ManagedSpace::new();
+    let trace = workload.generate(&mut space, &mut root.derive(1));
+    let footprint_bytes = space.ranges().iter().map(|r| r.num_pages).sum::<u64>() * PAGE_SIZE;
+    let subscription_ratio = footprint_bytes as f64 / config.driver.gpu_memory_bytes as f64;
+
+    let mut driver = UvmDriver::new(config.driver.clone(), cost.clone(), space, root.derive(2));
+    let mut engine = GpuEngine::launch(config.gpu.clone(), trace, root.derive(3));
+    let mut buffer = FaultBuffer::new(config.fault_buffer.clone());
+
+    let mut clock = SimTime::ZERO + cost.kernel_launch();
+    let mut passes: u64 = 0;
+    let mut stuck_passes: u64 = 0;
+    let mut last_steps: u64 = 0;
+
+    loop {
+        engine.run(driver.space(), &mut buffer, clock);
+        if engine.is_done() {
+            break;
+        }
+        if config.gpu.access_counters.enabled {
+            let notifs = engine.drain_access_notifications();
+            clock += driver
+                .note_access_notifications(&notifs, config.gpu.access_counters.granularity_pages);
+        }
+        // Driver works until it releases the GPU with a replay.
+        loop {
+            let pass = driver.process_pass(&mut buffer, clock);
+            clock += pass.time;
+            passes += 1;
+            assert!(
+                passes <= config.max_passes,
+                "exceeded max_passes = {} — livelock?",
+                config.max_passes
+            );
+            if pass.replays > 0 {
+                break;
+            }
+        }
+        clock += cost.replay_latency();
+        engine.replay();
+
+        // Livelock detection: replays that never complete a step mean the
+        // working set of stalled warps cannot become co-resident.
+        let steps = engine.counters().steps_completed;
+        if steps == last_steps {
+            stuck_passes += 1;
+            assert!(
+                stuck_passes < 10_000,
+                "no GPU progress over {stuck_passes} replays: working set of \
+                 stalled warps cannot fit in {} bytes of GPU memory",
+                config.driver.gpu_memory_bytes
+            );
+        } else {
+            stuck_passes = 0;
+            last_steps = steps;
+        }
+    }
+
+    let driver_time = clock - SimTime::ZERO;
+    let compute_time = cost.kernel_launch() + engine.compute_time();
+    let total_time = driver_time + engine.compute_time();
+
+    let mut xfer_explicit = TransferLog::default();
+    let explicit_time = cost.kernel_launch()
+        + gpu_model::dma::explicit_transfer(&cost, footprint_bytes, &mut xfer_explicit)
+        + engine.compute_time();
+
+    let prefetched_unused_pages = config.gpu.track_page_use.then(|| {
+        driver
+            .prefetched_pages()
+            .filter(|&p| !engine.page_was_used(p))
+            .count() as u64
+    });
+
+    SimReport {
+        workload: engine.trace().name.clone(),
+        footprint_bytes,
+        subscription_ratio,
+        total_time,
+        driver_time,
+        compute_time,
+        explicit_time,
+        timers: *driver.timers(),
+        counters: *driver.counters(),
+        engine: *engine.counters(),
+        transfers: *driver.transfer_log(),
+        trace: driver.trace().events().to_vec(),
+        prefetched_unused_pages,
+    }
+}
+
+/// Per-launch summary from [`run_repeated`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LaunchStats {
+    /// Launch index (0-based).
+    pub launch: u32,
+    /// Virtual time this launch took end to end.
+    pub time: SimDuration,
+    /// Faults the driver observed during this launch.
+    pub faults: u64,
+    /// Pages migrated host→device during this launch.
+    pub pages_migrated: u64,
+    /// Evictions during this launch.
+    pub evictions: u64,
+}
+
+/// Launch the same kernel `launches` times against one persistent driver
+/// — the iterative-application scenario. The first launch pays the full
+/// demand-paging cost; later launches run warm (zero faults when the
+/// footprint fits in GPU memory, steady-state thrash when it does not).
+pub fn run_repeated(config: &SimConfig, workload: &Workload, launches: u32) -> Vec<LaunchStats> {
+    assert!(launches > 0);
+    let cost = CostModel::new(config.cost.clone());
+    let root = SimRng::from_seed(config.seed);
+
+    let mut space = ManagedSpace::new();
+    let trace = workload.generate(&mut space, &mut root.derive(1));
+    let mut driver = UvmDriver::new(config.driver.clone(), cost.clone(), space, root.derive(2));
+    let mut buffer = FaultBuffer::new(config.fault_buffer.clone());
+
+    let mut out = Vec::with_capacity(launches as usize);
+    let mut clock = SimTime::ZERO;
+    for launch in 0..launches {
+        let start = clock;
+        let faults0 = driver.counters().faults_fetched;
+        let migrated0 = driver.counters().pages_migrated_h2d();
+        let evictions0 = driver.counters().evictions;
+        clock += cost.kernel_launch();
+        let mut engine = GpuEngine::launch(
+            config.gpu.clone(),
+            trace.clone(),
+            root.derive(10 + launch as u64),
+        );
+        let mut passes = 0u64;
+        loop {
+            engine.run(driver.space(), &mut buffer, clock);
+            if engine.is_done() {
+                break;
+            }
+            loop {
+                let pass = driver.process_pass(&mut buffer, clock);
+                clock += pass.time;
+                passes += 1;
+                assert!(passes <= config.max_passes, "livelock in repeated launch");
+                if pass.replays > 0 {
+                    break;
+                }
+            }
+            clock += cost.replay_latency();
+            engine.replay();
+        }
+        // Kernel boundary: drain any stale entries a non-flushing replay
+        // policy left behind, so they don't surface as phantom faults in
+        // the next launch's counters.
+        buffer.flush();
+        clock += engine.compute_time();
+        out.push(LaunchStats {
+            launch,
+            time: clock - start,
+            faults: driver.counters().faults_fetched - faults0,
+            pages_migrated: driver.counters().pages_migrated_h2d() - migrated0,
+            evictions: driver.counters().evictions - evictions0,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_engine::units::MIB;
+    use uvm_driver::PrefetchPolicy;
+    use workloads::{RegularParams, Workload};
+
+    fn small_config(mem_mib: u64) -> SimConfig {
+        let mut c = SimConfig::default();
+        c.driver.gpu_memory_bytes = mem_mib * MIB;
+        c
+    }
+
+    fn regular(bytes: u64) -> Workload {
+        Workload::Regular(RegularParams {
+            bytes,
+            warps_per_block: 8,
+        })
+    }
+
+    #[test]
+    fn undersubscribed_regular_completes() {
+        let cfg = small_config(64);
+        let r = run(&cfg, &regular(16 * MIB));
+        assert_eq!(r.workload, "regular");
+        assert_eq!(r.footprint_bytes, 16 * MIB);
+        assert!(r.subscription_ratio < 1.0);
+        // Every page faults or is prefetched exactly once.
+        assert_eq!(r.counters.pages_migrated_h2d(), 4096);
+        assert_eq!(r.counters.evictions, 0);
+        assert!(r.total_time > SimDuration::ZERO);
+        assert!(r.total_faults() > 0);
+    }
+
+    #[test]
+    fn prefetch_reduces_faults() {
+        let cfg_on = small_config(64);
+        let mut cfg_off = small_config(64);
+        cfg_off.driver.prefetch = PrefetchPolicy::Disabled;
+        let on = run(&cfg_on, &regular(16 * MIB));
+        let off = run(&cfg_off, &regular(16 * MIB));
+        assert!(
+            on.total_faults() < off.total_faults() / 2,
+            "prefetch on: {} faults, off: {}",
+            on.total_faults(),
+            off.total_faults()
+        );
+        // Same pages end up migrated either way (undersubscribed).
+        assert_eq!(
+            on.counters.pages_migrated_h2d(),
+            off.counters.pages_migrated_h2d()
+        );
+    }
+
+    #[test]
+    fn oversubscription_triggers_evictions() {
+        let cfg = small_config(16); // 16 MiB GPU, 24 MiB footprint
+        let r = run(&cfg, &regular(24 * MIB));
+        assert!(r.subscription_ratio > 1.0);
+        assert!(r.counters.evictions > 0);
+        assert!(r.counters.pages_evicted_total() > 0);
+    }
+
+    #[test]
+    fn explicit_baseline_is_faster_undersubscribed() {
+        let cfg = small_config(64);
+        let r = run(&cfg, &regular(32 * MIB));
+        assert!(
+            r.explicit_time < r.total_time,
+            "explicit {} vs UVM {}",
+            r.explicit_time,
+            r.total_time
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let cfg = small_config(32);
+        let a = run(&cfg, &regular(20 * MIB));
+        let b = run(&cfg, &regular(20 * MIB));
+        assert_eq!(a.total_time, b.total_time);
+        assert_eq!(a.counters, b.counters);
+        assert_eq!(a.engine, b.engine);
+    }
+
+    #[test]
+    fn seed_changes_fault_interleaving_not_coverage() {
+        let a = run(&small_config(64).with_seed(1), &regular(16 * MIB));
+        let b = run(&small_config(64).with_seed(2), &regular(16 * MIB));
+        assert_eq!(
+            a.counters.pages_migrated_h2d(),
+            b.counters.pages_migrated_h2d()
+        );
+    }
+}

@@ -1,0 +1,362 @@
+//! Tests for the analysis/extension features layered over the core
+//! reproduction: explicit prefetch hints, warm-start repeated launches,
+//! prefetch-waste accounting, and batch-composition histograms.
+
+use gpu_model::Residency;
+use sim_engine::units::{MIB, VABLOCK_SIZE};
+use sim_engine::{CostModel, SimDuration, SimRng, SimTime};
+use uvm_driver::{DriverConfig, ManagedSpace, PrefetchPolicy, UvmDriver};
+use uvm_sim::{run, run_repeated, SimConfig, Workload, WorkloadKind};
+use workloads::{RandomParams, RegularParams};
+
+#[test]
+fn prefetch_range_makes_a_range_fully_resident() {
+    let mut space = ManagedSpace::new();
+    let range = space.alloc(3 * VABLOCK_SIZE, "buf");
+    let mut driver = UvmDriver::new(
+        DriverConfig {
+            gpu_memory_bytes: 64 * MIB,
+            ..DriverConfig::default()
+        },
+        CostModel::default(),
+        space,
+        SimRng::from_seed(1),
+    );
+    let t = driver.prefetch_range(&range, SimTime::ZERO);
+    assert!(t > SimDuration::ZERO);
+    for p in 0..range.num_pages {
+        assert!(driver.space().is_resident(range.page(p)));
+    }
+    assert_eq!(driver.counters().pages_hint_prefetched, 3 * 512);
+    assert_eq!(driver.counters().hint_prefetch_calls, 1);
+    assert_eq!(driver.transfer_log().h2d_bytes, 3 * VABLOCK_SIZE);
+    // Idempotent: a second call migrates nothing new.
+    let before = driver.transfer_log().h2d_bytes;
+    driver.prefetch_range(&range, SimTime::ZERO);
+    assert_eq!(driver.transfer_log().h2d_bytes, before);
+}
+
+#[test]
+fn prefetch_range_evicts_when_memory_is_short() {
+    let mut space = ManagedSpace::new();
+    let a = space.alloc(VABLOCK_SIZE, "a");
+    let b = space.alloc(VABLOCK_SIZE, "b");
+    let mut driver = UvmDriver::new(
+        DriverConfig {
+            gpu_memory_bytes: VABLOCK_SIZE,
+            ..DriverConfig::default()
+        },
+        CostModel::default(),
+        space,
+        SimRng::from_seed(1),
+    );
+    driver.prefetch_range(&a, SimTime::ZERO);
+    driver.prefetch_range(&b, SimTime::ZERO);
+    assert_eq!(driver.counters().evictions, 1);
+    assert!(driver.space().is_resident(b.page(0)));
+    assert!(!driver.space().is_resident(a.page(0)));
+}
+
+#[test]
+fn hint_prefetch_eliminates_faults_entirely() {
+    // The manual-management pattern: prefetch the buffer, then launch.
+    let mut space = ManagedSpace::new();
+    let range = space.alloc(8 * MIB, "data");
+    let trace = {
+        // Reuse the regular generator's shape against our own range via a
+        // fresh space is awkward; just touch every page directly.
+        let mut bt = gpu_model::BlockTrace::new(SimDuration::ZERO);
+        for p in 0..range.num_pages {
+            bt.push_step([range.page(p)], false);
+        }
+        gpu_model::WorkloadTrace {
+            name: "touch".into(),
+            blocks: vec![bt],
+            footprint_pages: range.num_pages,
+        }
+    };
+    let mut driver = UvmDriver::new(
+        DriverConfig {
+            gpu_memory_bytes: 64 * MIB,
+            ..DriverConfig::default()
+        },
+        CostModel::default(),
+        space,
+        SimRng::from_seed(2),
+    );
+    driver.prefetch_range(&range, SimTime::ZERO);
+    let mut engine =
+        gpu_model::GpuEngine::launch(gpu_model::GpuConfig::default(), trace, SimRng::from_seed(3));
+    let mut buffer = gpu_model::FaultBuffer::new(gpu_model::FaultBufferConfig::default());
+    engine.run(driver.space(), &mut buffer, SimTime::ZERO);
+    assert!(engine.is_done(), "no faults: kernel runs straight through");
+    assert_eq!(engine.counters().faults_raised, 0);
+}
+
+#[test]
+fn repeated_launches_run_warm_when_undersubscribed() {
+    let mut cfg = SimConfig::default();
+    cfg.driver.gpu_memory_bytes = 64 * MIB;
+    let w = Workload::Regular(RegularParams {
+        bytes: 16 * MIB,
+        warps_per_block: 8,
+    });
+    let stats = run_repeated(&cfg, &w, 3);
+    assert_eq!(stats.len(), 3);
+    assert!(stats[0].faults > 0, "cold start faults");
+    assert_eq!(stats[0].pages_migrated, 4096);
+    for s in &stats[1..] {
+        assert_eq!(s.faults, 0, "warm launches never fault");
+        assert_eq!(s.pages_migrated, 0);
+        assert!(
+            s.time < stats[0].time / 4,
+            "warm launch {} vs cold {}",
+            s.time,
+            stats[0].time
+        );
+    }
+}
+
+#[test]
+fn repeated_launches_keep_thrashing_when_oversubscribed() {
+    let mut cfg = SimConfig::default();
+    cfg.driver.gpu_memory_bytes = 16 * MIB;
+    let w = Workload::Random(RandomParams {
+        bytes: 24 * MIB,
+        warps_per_block: 8,
+    });
+    let stats = run_repeated(&cfg, &w, 2);
+    assert!(stats[1].faults > 0, "oversubscription keeps faulting");
+    assert!(stats[1].evictions > 0);
+}
+
+#[test]
+fn prefetch_waste_is_observable_with_page_use_tracking() {
+    // A sparse workload touching one page per big-page region: the stock
+    // prefetcher's 64 KB upgrades drag in 15 unused pages per fault.
+    let mut cfg = SimConfig::default();
+    cfg.driver.gpu_memory_bytes = 64 * MIB;
+    cfg.gpu.track_page_use = true;
+    // The regular workload touches every page, so prefetch waste is zero;
+    // sparse kernels (see the doc example on `prefetched_unused_pages`)
+    // report the dragged-in remainder of each 64 KB upgrade.
+    let w = Workload::Regular(RegularParams {
+        bytes: 8 * MIB,
+        warps_per_block: 8,
+    });
+    let r = run(&cfg, &w);
+    assert_eq!(
+        r.prefetched_unused_pages,
+        Some(0),
+        "dense kernel wastes nothing"
+    );
+    // Without tracking the field is absent.
+    cfg.gpu.track_page_use = false;
+    let r = run(&cfg, &w);
+    assert_eq!(r.prefetched_unused_pages, None);
+}
+
+#[test]
+fn sparse_kernel_shows_nonzero_prefetch_waste() {
+    // Touch one page per 64 KB big-page region: every fault drags in 15
+    // pages the kernel never uses (paper §VI-A's waste mechanism).
+    let mut space = ManagedSpace::new();
+    let range = space.alloc(8 * MIB, "sparse");
+    let mut bt = gpu_model::BlockTrace::new(SimDuration::ZERO);
+    let touched: Vec<u64> = (0..range.num_pages).step_by(16).collect();
+    for &p in &touched {
+        bt.push_step([range.page(p)], false);
+    }
+    let trace = gpu_model::WorkloadTrace {
+        name: "sparse".into(),
+        blocks: vec![bt],
+        footprint_pages: range.num_pages,
+    };
+    let mut driver = UvmDriver::new(
+        DriverConfig {
+            gpu_memory_bytes: 64 * MIB,
+            ..DriverConfig::default()
+        },
+        CostModel::default(),
+        space,
+        SimRng::from_seed(4),
+    );
+    let gpu_cfg = gpu_model::GpuConfig {
+        track_page_use: true,
+        ..gpu_model::GpuConfig::default()
+    };
+    let mut engine = gpu_model::GpuEngine::launch(gpu_cfg, trace, SimRng::from_seed(5));
+    let mut buffer = gpu_model::FaultBuffer::new(gpu_model::FaultBufferConfig::default());
+    let mut clock = SimTime::ZERO;
+    while !engine.is_done() {
+        engine.run(driver.space(), &mut buffer, clock);
+        if engine.is_done() {
+            break;
+        }
+        loop {
+            let pass = driver.process_pass(&mut buffer, clock);
+            clock += pass.time;
+            if pass.replays > 0 {
+                break;
+            }
+        }
+        engine.replay();
+    }
+    let waste = driver
+        .prefetched_pages()
+        .filter(|&p| !engine.page_was_used(p))
+        .count();
+    // At least the big-page remainder of every touched region is wasted.
+    assert!(
+        waste >= touched.len() * 15 / 2,
+        "sparse kernel must show prefetch waste: {waste} unused of {} prefetched",
+        driver.counters().pages_prefetched
+    );
+    for &p in &touched {
+        assert!(engine.page_was_used(range.page(p)));
+    }
+}
+
+#[test]
+fn host_access_migrates_data_back() {
+    let mut space = ManagedSpace::new();
+    let range = space.alloc(2 * VABLOCK_SIZE, "buf");
+    let mut driver = UvmDriver::new(
+        DriverConfig {
+            gpu_memory_bytes: 64 * MIB,
+            ..DriverConfig::default()
+        },
+        CostModel::default(),
+        space,
+        SimRng::from_seed(1),
+    );
+    // Pull everything to the GPU, then let the CPU touch it.
+    driver.prefetch_range(&range, SimTime::ZERO);
+    assert!(driver.space().is_resident(range.page(0)));
+    assert!(driver.gpu_memory_in_use() > 0);
+    let t = driver.host_access_range(&range, SimTime::ZERO);
+    assert!(t > SimDuration::ZERO);
+    for p in [0, 511, 512, 1023] {
+        assert!(!driver.space().is_resident(range.page(p)));
+    }
+    assert_eq!(driver.counters().pages_migrated_to_host, 2 * 512);
+    assert_eq!(driver.transfer_log().d2h_bytes, 2 * VABLOCK_SIZE);
+    assert_eq!(driver.gpu_memory_in_use(), 0, "backing returned");
+    // Idempotent on non-resident data.
+    let before = driver.transfer_log().d2h_bytes;
+    driver.host_access_range(&range, SimTime::ZERO);
+    assert_eq!(driver.transfer_log().d2h_bytes, before);
+}
+
+#[test]
+fn cpu_gpu_pipeline_round_trips() {
+    // Iterative pattern: GPU kernel, CPU inspection, GPU kernel again.
+    // The CPU phase drains residency, so the second launch refaults.
+    let mut space = ManagedSpace::new();
+    let range = space.alloc(4 * MIB, "buf");
+    let make_trace = |range: &uvm_driver::VaRange| {
+        let mut bt = gpu_model::BlockTrace::new(SimDuration::ZERO);
+        for p in 0..range.num_pages {
+            bt.push_step([range.page(p)], true);
+        }
+        gpu_model::WorkloadTrace {
+            name: "touch".into(),
+            blocks: vec![bt],
+            footprint_pages: range.num_pages,
+        }
+    };
+    let mut driver = UvmDriver::new(
+        DriverConfig {
+            gpu_memory_bytes: 64 * MIB,
+            ..DriverConfig::default()
+        },
+        CostModel::default(),
+        space,
+        SimRng::from_seed(2),
+    );
+    let launch = |driver: &mut UvmDriver| {
+        let mut engine = gpu_model::GpuEngine::launch(
+            gpu_model::GpuConfig::default(),
+            make_trace(&range),
+            SimRng::from_seed(3),
+        );
+        let mut buffer = gpu_model::FaultBuffer::new(gpu_model::FaultBufferConfig::default());
+        let mut clock = SimTime::ZERO;
+        let faults0 = driver.counters().faults_fetched;
+        while !engine.is_done() {
+            engine.run(driver.space(), &mut buffer, clock);
+            if engine.is_done() {
+                break;
+            }
+            loop {
+                let pass = driver.process_pass(&mut buffer, clock);
+                clock += pass.time;
+                if pass.replays > 0 {
+                    break;
+                }
+            }
+            engine.replay();
+        }
+        driver.counters().faults_fetched - faults0
+    };
+    let cold = launch(&mut driver);
+    assert!(cold > 0);
+    let warm = launch(&mut driver);
+    assert_eq!(warm, 0, "data still resident");
+    driver.host_access_range(&range, SimTime::ZERO);
+    let after_host = launch(&mut driver);
+    assert!(after_host > 0, "CPU access invalidated GPU residency");
+}
+
+#[test]
+fn batch_histograms_reflect_access_pattern() {
+    let run_kind = |kind| {
+        let mut space = ManagedSpace::new();
+        let w = Workload::with_footprint(kind, 32 * MIB);
+        let trace = w.generate(&mut space, &mut SimRng::from_seed(1));
+        let mut driver = UvmDriver::new(
+            DriverConfig {
+                gpu_memory_bytes: 64 * MIB,
+                prefetch: PrefetchPolicy::Disabled,
+                ..DriverConfig::default()
+            },
+            CostModel::default(),
+            space,
+            SimRng::from_seed(2),
+        );
+        let mut engine = gpu_model::GpuEngine::launch(
+            gpu_model::GpuConfig::default(),
+            trace,
+            SimRng::from_seed(3),
+        );
+        let mut buffer = gpu_model::FaultBuffer::new(gpu_model::FaultBufferConfig::default());
+        let mut clock = SimTime::ZERO;
+        while !engine.is_done() {
+            engine.run(driver.space(), &mut buffer, clock);
+            if engine.is_done() {
+                break;
+            }
+            loop {
+                let pass = driver.process_pass(&mut buffer, clock);
+                clock += pass.time;
+                if pass.replays > 0 {
+                    break;
+                }
+            }
+            engine.replay();
+        }
+        (
+            driver.faults_per_batch().mean(),
+            driver.vablocks_per_batch().mean(),
+        )
+    };
+    let (reg_faults, reg_blocks) = run_kind(WorkloadKind::Regular);
+    let (rnd_faults, rnd_blocks) = run_kind(WorkloadKind::Random);
+    assert!(reg_faults > 0.0 && rnd_faults > 0.0);
+    // Random faults scatter across far more VABlocks per batch — the
+    // paper's §III-D coalescing insight.
+    assert!(
+        rnd_blocks > 1.5 * reg_blocks,
+        "random {rnd_blocks:.1} vs regular {reg_blocks:.1} VABlocks/batch"
+    );
+}

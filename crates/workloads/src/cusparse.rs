@@ -1,0 +1,228 @@
+//! cuSPARSE-style kernel: dense→CSR conversion followed by a sparse
+//! matrix–dense vector/matrix product (after Cheng et al.'s *Professional
+//! CUDA C Programming* example the paper uses).
+//!
+//! Phase 1 streams the dense matrix sequentially while compacting into the
+//! CSR arrays; phase 2 walks CSR rows and gathers from a dense operand at
+//! the (random-looking) column positions of the nonzeros — the
+//! random-like segments visible in Fig. 7's cusparse panel.
+
+use crate::common::{cost_of_bytes, warp_interleave, WARP_SIZE};
+use gpu_model::{BlockTrace, GlobalPage, WorkloadTrace};
+use serde::{Deserialize, Serialize};
+use sim_engine::units::PAGE_SIZE;
+use sim_engine::SimRng;
+use uvm_driver::ManagedSpace;
+
+/// Parameters of the cuSPARSE workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CusparseParams {
+    /// Dense matrix dimension (n×n f32).
+    pub n: usize,
+    /// Nonzero density in parts-per-thousand (e.g. 100 = 10 %).
+    pub density_ppt: u32,
+    /// Pages per thread block in the dense scan.
+    pub pages_per_block: usize,
+}
+
+impl Default for CusparseParams {
+    fn default() -> Self {
+        CusparseParams {
+            n: 4096,
+            density_ppt: 100,
+            pages_per_block: 64,
+        }
+    }
+}
+
+impl CusparseParams {
+    /// Nonzeros in the sparse representation.
+    pub fn nnz(&self) -> u64 {
+        (self.n as u64 * self.n as u64 * self.density_ppt as u64) / 1000
+    }
+
+    /// Total managed footprint: dense A, CSR (vals + cols + row ptrs),
+    /// dense operand B, output C.
+    pub fn footprint_bytes(&self) -> u64 {
+        let n = self.n as u64;
+        let dense = 4 * n * n;
+        let csr = 4 * self.nnz() + 4 * self.nnz() + 4 * (n + 1);
+        dense + csr + dense + dense
+    }
+}
+
+/// Generate the cuSPARSE trace, allocating all buffers in `space`.
+pub fn generate(
+    params: &CusparseParams,
+    space: &mut ManagedSpace,
+    rng: &mut SimRng,
+) -> WorkloadTrace {
+    let n = params.n as u64;
+    let dense_bytes = 4 * n * n;
+    let nnz = params.nnz().max(1);
+    let a = space.alloc(dense_bytes, "A_dense");
+    let vals = space.alloc(4 * nnz, "csr_vals");
+    let cols = space.alloc(4 * nnz, "csr_cols");
+    let rows = space.alloc(4 * (n + 1), "csr_rows");
+    let b = space.alloc(dense_bytes, "B");
+    let c = space.alloc(dense_bytes, "C");
+
+    let step_cost = cost_of_bytes((WARP_SIZE as u64 * PAGE_SIZE) as f64);
+    let mut blocks = Vec::new();
+
+    // Phase 1: dense scan + CSR compaction. Each block scans a chunk of A
+    // and writes the proportional chunk of vals/cols (and touches rows).
+    let ratio = a.num_pages as f64 / vals.num_pages as f64;
+    for chunk_start in (0..a.num_pages).step_by(params.pages_per_block) {
+        let end = (chunk_start + params.pages_per_block as u64).min(a.num_pages);
+        let mut bt = BlockTrace::new(step_cost);
+        let mut scan: Vec<GlobalPage> = (chunk_start..end).map(|p| a.page(p)).collect();
+        warp_interleave(&mut scan);
+        for warp in scan.chunks(WARP_SIZE) {
+            bt.push_step(warp.iter().copied(), false);
+        }
+        let v0 = (chunk_start as f64 / ratio) as u64;
+        let v1 = ((end as f64 / ratio).ceil() as u64)
+            .min(vals.num_pages)
+            .max(v0 + 1);
+        let mut out: Vec<(GlobalPage, bool)> = Vec::new();
+        for v in v0..v1.min(vals.num_pages) {
+            out.push((vals.page(v), true));
+            out.push((cols.page(v.min(cols.num_pages - 1)), true));
+        }
+        out.push((
+            rows.page((chunk_start * rows.num_pages / a.num_pages).min(rows.num_pages - 1)),
+            true,
+        ));
+        for warp in out.chunks(WARP_SIZE) {
+            bt.push_step_mixed(warp.iter().copied());
+        }
+        blocks.push(bt);
+    }
+
+    // Phase 2: SpMM — walk CSR sequentially, gather random rows of B,
+    // write C sequentially.
+    let gathers_per_block = 16usize;
+    for chunk_start in (0..vals.num_pages).step_by(params.pages_per_block) {
+        let end = (chunk_start + params.pages_per_block as u64).min(vals.num_pages);
+        let mut bt = BlockTrace::new(step_cost);
+        let csr_scan: Vec<GlobalPage> = (chunk_start..end)
+            .flat_map(|p| [vals.page(p), cols.page(p.min(cols.num_pages - 1))])
+            .collect();
+        for warp in csr_scan.chunks(WARP_SIZE) {
+            bt.push_step(warp.iter().copied(), false);
+        }
+        // Random gathers into B driven by the column indices.
+        let gathers: Vec<GlobalPage> = (0..gathers_per_block)
+            .map(|_| b.page(rng.index(b.num_pages as usize) as u64))
+            .collect();
+        for warp in gathers.chunks(WARP_SIZE) {
+            bt.push_step(warp.iter().copied(), false);
+        }
+        // Proportional C output.
+        let c0 = chunk_start * c.num_pages / vals.num_pages;
+        let c1 = (end * c.num_pages / vals.num_pages)
+            .max(c0 + 1)
+            .min(c.num_pages);
+        let out: Vec<GlobalPage> = (c0..c1).map(|p| c.page(p)).collect();
+        for warp in out.chunks(WARP_SIZE) {
+            bt.push_step(warp.iter().copied(), true);
+        }
+        blocks.push(bt);
+    }
+
+    let footprint_pages = space.ranges().iter().map(|r| r.num_pages).sum();
+    WorkloadTrace {
+        name: "cusparse".into(),
+        footprint_pages,
+        blocks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CusparseParams {
+        CusparseParams {
+            n: 1024,
+            density_ppt: 100,
+            pages_per_block: 32,
+        }
+    }
+
+    #[test]
+    fn allocates_all_buffers() {
+        let mut space = ManagedSpace::new();
+        let mut rng = SimRng::from_seed(1);
+        let _ = generate(&small(), &mut space, &mut rng);
+        let names: Vec<&str> = space.ranges().iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["A_dense", "csr_vals", "csr_cols", "csr_rows", "B", "C"]
+        );
+    }
+
+    #[test]
+    fn nnz_tracks_density() {
+        assert_eq!(small().nnz(), 1024 * 1024 / 10);
+        let dense = CusparseParams {
+            density_ppt: 1000,
+            ..small()
+        };
+        assert_eq!(dense.nnz(), 1024 * 1024);
+    }
+
+    #[test]
+    fn dense_matrix_scanned_sequentially() {
+        let mut space = ManagedSpace::new();
+        let mut rng = SimRng::from_seed(1);
+        let t = generate(&small(), &mut space, &mut rng);
+        let a = space.ranges()[0].clone();
+        let mut first: Vec<u64> = t.blocks[0].step(0).map(|(p, _)| p.0).collect();
+        first.sort_unstable();
+        assert!(first
+            .iter()
+            .all(|p| (a.start_page..a.end_page()).contains(p)));
+    }
+
+    #[test]
+    fn phase2_gathers_into_b() {
+        let mut space = ManagedSpace::new();
+        let mut rng = SimRng::from_seed(1);
+        let t = generate(&small(), &mut space, &mut rng);
+        let b = space.ranges()[4].clone();
+        let mut b_reads = 0;
+        for blk in &t.blocks {
+            for s in 0..blk.num_steps() {
+                for (p, w) in blk.step(s) {
+                    if (b.start_page..b.end_page()).contains(&p.0) {
+                        assert!(!w);
+                        b_reads += 1;
+                    }
+                }
+            }
+        }
+        assert!(b_reads > 0, "phase 2 gathers from B");
+    }
+
+    #[test]
+    fn c_written() {
+        let mut space = ManagedSpace::new();
+        let mut rng = SimRng::from_seed(1);
+        let t = generate(&small(), &mut space, &mut rng);
+        let c = space.ranges()[5].clone();
+        let mut c_writes = vec![false; c.num_pages as usize];
+        for blk in &t.blocks {
+            for s in 0..blk.num_steps() {
+                for (p, w) in blk.step(s) {
+                    if (c.start_page..c.end_page()).contains(&p.0) {
+                        assert!(w);
+                        c_writes[(p.0 - c.start_page) as usize] = true;
+                    }
+                }
+            }
+        }
+        assert!(c_writes.iter().all(|&x| x), "every C page written");
+    }
+}

@@ -1,0 +1,73 @@
+//! Quickstart: simulate one UVM-managed kernel and print where the time
+//! went.
+//!
+//! ```text
+//! cargo run --release --example quickstart [workload] [footprint_mib]
+//! ```
+//!
+//! `workload` is one of: regular random sgemm stream cufft tealeaf hpgmg
+//! cusparse (default: regular). The platform is a 1/16-scale Titan V
+//! (768 MiB of GPU memory), so footprints beyond ~768 MiB oversubscribe.
+
+use uvm_sim::{run, Category, SimConfig, Workload, WorkloadKind};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let kind = match args.first().map(String::as_str) {
+        None | Some("regular") => WorkloadKind::Regular,
+        Some("random") => WorkloadKind::Random,
+        Some("sgemm") => WorkloadKind::Sgemm,
+        Some("stream") => WorkloadKind::Stream,
+        Some("cufft") => WorkloadKind::Cufft,
+        Some("tealeaf") => WorkloadKind::Tealeaf,
+        Some("hpgmg") => WorkloadKind::Hpgmg,
+        Some("cusparse") => WorkloadKind::Cusparse,
+        Some(other) => {
+            eprintln!("unknown workload {other}");
+            std::process::exit(2);
+        }
+    };
+    let footprint_mib: u64 = match args.get(1) {
+        None => 256,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("footprint must be a number of MiB, got {v:?}");
+            std::process::exit(2);
+        }),
+    };
+
+    let config = SimConfig::scaled(1.0 / 16.0);
+    let workload = Workload::with_footprint(kind, footprint_mib << 20);
+
+    println!(
+        "simulating {} with a {} MiB footprint on {} MiB of GPU memory...",
+        workload.name(),
+        workload.footprint_bytes() >> 20,
+        config.driver.gpu_memory_bytes >> 20
+    );
+    let report = run(&config, &workload);
+
+    println!();
+    println!("subscription ratio : {:.2}", report.subscription_ratio);
+    println!("kernel time (UVM)  : {}", report.total_time);
+    println!("explicit baseline  : {}", report.explicit_time);
+    println!("ideal compute time : {}", report.compute_time);
+    println!();
+    println!("driver time by category:");
+    print!("{}", report.timers);
+    println!();
+    println!();
+    println!("faults observed    : {}", report.total_faults());
+    println!("  duplicates       : {}", report.counters.duplicate_faults);
+    println!("pages faulted in   : {}", report.counters.pages_faulted_in);
+    println!("pages prefetched   : {}", report.counters.pages_prefetched);
+    println!("evictions          : {}", report.counters.evictions);
+    println!(
+        "data moved         : {} MiB h2d, {} MiB d2h",
+        report.transfers.h2d_bytes >> 20,
+        report.transfers.d2h_bytes >> 20
+    );
+    println!(
+        "eviction time share: {:.1}%",
+        100.0 * report.timers.fraction(Category::Eviction)
+    );
+}

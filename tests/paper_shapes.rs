@@ -1,0 +1,243 @@
+//! Cross-crate integration tests asserting the *shapes* of the paper's
+//! results — who wins, by roughly what factor, where crossovers fall —
+//! at a quick scale so CI stays fast. EXPERIMENTS.md records the
+//! full-scale numbers.
+
+use bench::experiments::{ablations, figures, tables, Scale};
+use metrics::report::Table;
+
+const SCALE: Scale = Scale::QUICK;
+
+/// Parse a rendered table's CSV into rows of cells.
+fn rows(table: &Table) -> Vec<Vec<String>> {
+    table
+        .to_csv()
+        .lines()
+        .skip(1)
+        .map(|l| l.split(',').map(|c| c.to_string()).collect())
+        .collect()
+}
+
+fn num(cell: &str) -> f64 {
+    cell.parse()
+        .unwrap_or_else(|_| panic!("not a number: {cell}"))
+}
+
+#[test]
+fn table1_prefetch_reduces_faults_for_every_workload() {
+    let t = tables::table1(SCALE);
+    let rows = rows(&t.table);
+    assert_eq!(rows.len(), 8);
+    for row in &rows {
+        let reduction = num(&row[3]);
+        assert!(
+            reduction >= 40.0,
+            "{}: reduction {reduction}% below paper band",
+            row[0]
+        );
+    }
+    // Random is among the best-covered workloads (paper: 97.95%).
+    let random = rows.iter().find(|r| r[0] == "random").unwrap();
+    assert!(num(&random[3]) >= 90.0);
+    // hpgmg is among the worst (paper: 64.06%).
+    let hpgmg = rows.iter().find(|r| r[0] == "hpgmg").unwrap();
+    assert!(num(&hpgmg[3]) <= num(&random[3]));
+}
+
+#[test]
+fn fig1_ordering_explicit_prefetch_noprefetch() {
+    let t = figures::fig1(SCALE);
+    for row in rows(&t.table) {
+        let (ratio, explicit, nopf, pf) = (num(&row[1]), num(&row[3]), num(&row[4]), num(&row[5]));
+        assert!(explicit < nopf, "explicit always beats UVM-no-prefetch");
+        if ratio < 1.0 {
+            assert!(pf <= nopf * 1.05, "prefetch helps when undersubscribed");
+        }
+    }
+    // Oversubscription costs an order of magnitude for random access.
+    let rows = rows(&t.table);
+    let random_under = rows
+        .iter()
+        .find(|r| r[0] == "random" && num(&r[1]) == 0.75)
+        .unwrap();
+    let random_over = rows
+        .iter()
+        .find(|r| r[0] == "random" && num(&r[1]) == 1.5)
+        .unwrap();
+    assert!(
+        num(&random_over[4]) > 5.0 * num(&random_under[4]),
+        "oversubscribed random at least 5x worse: {} vs {}",
+        random_over[4],
+        random_under[4]
+    );
+}
+
+#[test]
+fn fig3_base_overhead_and_random_penalty() {
+    let t = figures::fig3(SCALE);
+    let rows = rows(&t.table);
+    // Tiny sizes: constant base overhead in the paper's 400-600us class.
+    let tiny = rows.iter().find(|r| r[0] == "regular").unwrap();
+    let kernel_ms = num(&tiny[2]);
+    assert!(
+        (0.3..0.8).contains(&kernel_ms),
+        "base overhead {kernel_ms}ms out of the 400-600us class"
+    );
+    // Largest size: random service cost exceeds regular's.
+    let last_reg = rows.iter().rfind(|r| r[0] == "regular").unwrap();
+    let last_rnd = rows.iter().rfind(|r| r[0] == "random").unwrap();
+    assert!(
+        num(&last_rnd[5]) > 1.3 * num(&last_reg[5]),
+        "random service {} vs regular {}",
+        last_rnd[5],
+        last_reg[5]
+    );
+}
+
+#[test]
+fn fig4_pma_share_amortises_with_size() {
+    let t = figures::fig4(SCALE);
+    let rows = rows(&t.table);
+    let first = num(&rows.first().unwrap()[2]);
+    let last = num(&rows.last().unwrap()[2]);
+    assert!(
+        first > 3.0 * last,
+        "PMA share must fall with size: {first}% -> {last}%"
+    );
+    assert!(first > 25.0, "PMA dominates tiny sizes ({first}%)");
+}
+
+#[test]
+fn fig5_batch_policy_trades_replay_cost_for_preprocessing() {
+    let f3 = figures::fig3(SCALE);
+    let f5 = figures::fig5(SCALE);
+    let r3 = rows(&f3.table);
+    let r5 = rows(&f5.table);
+    // Compare the largest regular size in both.
+    let big3 = r3.iter().rfind(|r| r[0] == "regular").unwrap();
+    let big5 = r5.iter().rfind(|r| r[0] == "regular").unwrap();
+    let (pre3, replay3) = (num(&big3[4]), num(&big3[6]));
+    let (pre5, replay5) = (num(&big5[4]), num(&big5[6]));
+    assert!(
+        pre5 > 1.5 * pre3,
+        "Batch policy inflates preprocessing: {pre3} -> {pre5}"
+    );
+    assert!(
+        replay5 < replay3,
+        "Batch policy shrinks replay-policy cost: {replay3} -> {replay5}"
+    );
+    // Duplicate faults appear only without flushing.
+    assert!(
+        num(&big5[7]) > num(&big3[7]),
+        "stale duplicates inflate fetched faults"
+    );
+}
+
+#[test]
+fn fig9_random_an_order_of_magnitude_worse_oversubscribed() {
+    let t = figures::fig9(SCALE);
+    let rows = rows(&t.table);
+    let reg = rows
+        .iter()
+        .find(|r| r[0] == "regular" && num(&r[1]) > 1.4)
+        .unwrap();
+    let rnd = rows
+        .iter()
+        .find(|r| r[0] == "random" && num(&r[1]) > 1.4)
+        .unwrap();
+    assert!(
+        num(&rnd[2]) > 5.0 * num(&reg[2]),
+        "random {} vs regular {} oversubscribed",
+        rnd[2],
+        reg[2]
+    );
+    // Data amplification: random moves several times its footprint.
+    let footprint_mib = SCALE.gpu_bytes() as f64 / (1 << 20) as f64 * 1.5;
+    assert!(num(&rnd[6]) > 3.0 * footprint_mib);
+}
+
+#[test]
+fn table2_evictions_per_fault_rise_past_full_memory() {
+    let t = tables::table2(SCALE);
+    let rows = rows(&t.table);
+    let mut prev_epf = -1.0;
+    for row in &rows {
+        let (ratio, evicted, epf) = (num(&row[1]), num(&row[3]), num(&row[4]));
+        if ratio <= 1.0 {
+            assert_eq!(evicted, 0.0, "no evictions while undersubscribed");
+        }
+        assert!(epf >= prev_epf - 0.05, "evictions/fault roughly monotone");
+        prev_epf = epf;
+    }
+    let last = rows.last().unwrap();
+    assert!(num(&last[4]) > 0.5, "deep oversubscription evicts heavily");
+}
+
+#[test]
+fn fig10_compute_rate_degrades_past_the_cliff() {
+    let t = figures::fig10(SCALE);
+    let rows = rows(&t.table);
+    let peak = rows
+        .iter()
+        .filter(|r| num(&r[1]) <= 1.2)
+        .map(|r| num(&r[3]))
+        .fold(0.0f64, f64::max);
+    let deepest = rows.last().unwrap();
+    assert!(
+        num(&deepest[3]) < peak,
+        "rate at ratio {} ({} GFLOPs) must fall below the peak {peak}",
+        deepest[1],
+        deepest[3]
+    );
+    // Data moved grows superlinearly past the boundary.
+    assert!(num(&deepest[4]) > 1.2 * num(&deepest[5]));
+}
+
+#[test]
+fn granularity_ablation_favours_fine_allocation_for_random() {
+    let t = ablations::ablation_granularity(SCALE);
+    let rows = rows(&t.table);
+    let fine = num(&rows.first().unwrap()[1]);
+    let coarse = num(&rows.last().unwrap()[1]);
+    assert!(
+        fine < coarse / 2.0,
+        "64KiB granularity should at least halve the random oversubscribed time: {fine} vs {coarse}"
+    );
+}
+
+#[test]
+fn threshold_ablation_aggressive_prefetch_wins_undersubscribed() {
+    let t = ablations::ablation_threshold(SCALE);
+    let rows = rows(&t.table);
+    let aggressive = num(&rows.first().unwrap()[1]);
+    let conservative = num(&rows.last().unwrap()[1]);
+    assert!(aggressive <= conservative * 1.02);
+    // Fewer faults with the aggressive threshold.
+    assert!(num(&rows.first().unwrap()[3]) <= num(&rows.last().unwrap()[3]));
+}
+
+#[test]
+fn fig7_traces_cover_workload_pages() {
+    let t = figures::fig7(SCALE);
+    assert_eq!(t.csvs.len(), 6, "one CSV per plotted workload");
+    for (name, csv) in &t.csvs {
+        assert!(csv.lines().count() > 10, "{name} trace too small");
+        assert!(csv.starts_with("order,page\n"));
+    }
+}
+
+#[test]
+fn fig8_shows_evictions_and_refaults() {
+    // Needs a slightly larger platform than QUICK: with a grid smaller
+    // than the resident-block window, sgemm executes in one wave and the
+    // cross-wave refault pathology cannot appear.
+    let t = figures::fig8(Scale {
+        fraction: 1.0 / 64.0,
+    });
+    let rows = rows(&t.table);
+    let row = &rows[0];
+    assert!(num(&row[2]) > 0.0, "evictions present");
+    assert!(num(&row[4]) > 0.0, "evict-then-refault present");
+    let (_, csv) = &t.csvs[0];
+    assert!(csv.contains("evict"), "evictions plotted on the timeline");
+}
