@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# CI gate: build, full test suite, and a quick-scale end-to-end
+# reproduction of every experiment. Mirrors what reviewers run by hand;
+# keep it fast enough to run on every push (~1 min on one core).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo build --release =="
+cargo build --release --workspace
+
+echo "== cargo test =="
+cargo test -q --workspace
+
+echo "== repro all --scale 128 (quick-scale end-to-end) =="
+./target/release/repro all --scale 128 --json --out ci-out
+
+echo "== ci.sh: all green =="

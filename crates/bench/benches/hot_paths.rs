@@ -1,0 +1,138 @@
+//! Micro-benches of the fault-pipeline hot paths, isolated from the
+//! experiment harness: batch pre-processing (sort-then-group into a
+//! reusable arena), the engine's post-replay retry scan, word-at-a-time
+//! `PageMask` operations, and one end-to-end oversubscribed point at
+//! `Scale::QUICK`.
+//!
+//! These are the loops the `repro` wall time is made of; `cargo bench
+//! -p bench hot_paths` gives a stable regression guard around each one
+//! without re-running whole experiments.
+
+use bench::experiments::Scale;
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpu_model::{
+    AccessType, BlockTrace, FaultBuffer, FaultBufferConfig, FaultEntry, GlobalPage, GpuConfig,
+    GpuEngine, PageMask, WorkloadTrace,
+};
+use sim_engine::{SimDuration, SimRng, SimTime};
+use std::hint::black_box;
+use uvm_sim::{BatchArena, ManagedSpace, WorkloadKind};
+
+/// 256 faults spread over a handful of VABlocks, timestamps in order —
+/// the shape `process_pass` sees every batch in the thrash steady state.
+fn batch_entries() -> Vec<FaultEntry> {
+    (0..256u64)
+        .map(|i| FaultEntry {
+            // Stride pages so the sort actually reorders runs.
+            page: GlobalPage((i * 37) % 2048),
+            access: if i % 4 == 0 {
+                AccessType::Write
+            } else {
+                AccessType::Read
+            },
+            timestamp: SimTime::ZERO + SimDuration::from_nanos(i),
+            utlb: (i % 80) as u32,
+        })
+        .collect()
+}
+
+fn bench_batch_preprocess(c: &mut Criterion) {
+    let entries = batch_entries();
+    let mut space = ManagedSpace::new();
+    space.alloc(2048 * 4096, "bench");
+    let mut buffer = FaultBuffer::new(FaultBufferConfig::default());
+    let mut arena = BatchArena::default();
+    c.benchmark_group("hot_paths")
+        .bench_function("batch_preprocess_256", |b| {
+            b.iter(|| {
+                for e in &entries {
+                    buffer.push(*e);
+                }
+                uvm_driver::batch::gather_into(
+                    &mut buffer,
+                    256,
+                    SimTime::ZERO + SimDuration::from_micros(1),
+                    &space,
+                    &mut arena,
+                );
+                black_box(arena.batch.groups.len())
+            })
+        });
+}
+
+/// A grid of stalled blocks retrying scattered non-resident pages — the
+/// replay-retry scan that dominates oversubscribed runs.
+fn bench_replay_retry(c: &mut Criterion) {
+    let mut space = ManagedSpace::new();
+    space.alloc(1 << 30, "bench"); // 256 Ki pages, none resident
+    let mut rng = SimRng::from_seed(7);
+    let blocks: Vec<BlockTrace> = (0..256)
+        .map(|_| {
+            let mut bt = BlockTrace::new(SimDuration::from_nanos(10));
+            bt.push_step((0..32).map(|_| GlobalPage(rng.index(1 << 18) as u64)), false);
+            bt
+        })
+        .collect();
+    let trace = WorkloadTrace {
+        name: "retry".into(),
+        blocks,
+        footprint_pages: 1 << 18,
+    };
+    let mut engine = GpuEngine::launch(GpuConfig::default(), trace, SimRng::from_seed(1));
+    let mut buffer = FaultBuffer::new(FaultBufferConfig::default());
+    engine.run(&space, &mut buffer, SimTime::ZERO); // initial stall
+    c.benchmark_group("hot_paths")
+        .bench_function("replay_retry_256_blocks", |b| {
+            b.iter(|| {
+                buffer.flush();
+                engine.replay();
+                black_box(engine.run(&space, &mut buffer, SimTime::ZERO))
+            })
+        });
+}
+
+fn bench_mask_word_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hot_paths");
+    group.bench_function("mask_set_span", |b| {
+        b.iter(|| {
+            let mut m = PageMask::default();
+            for start in (0..448).step_by(64) {
+                m.set_span(black_box(start + 3), black_box(61));
+            }
+            black_box(m.count())
+        })
+    });
+    group.bench_function("mask_for_each_set_word", |b| {
+        let mut m = PageMask::default();
+        m.set_span(17, 400);
+        b.iter(|| {
+            let mut total = 0u32;
+            m.for_each_set_word(|_, bits| total += bits.count_ones());
+            black_box(total)
+        })
+    });
+}
+
+/// End-to-end oversubscribed random point at 1/128 scale: every layer of
+/// the pipeline (engine, buffer, batching, prefetch, eviction) in one
+/// number.
+fn bench_quick_point(c: &mut Criterion) {
+    let scale = Scale::QUICK;
+    let cfg = scale.config();
+    let w = scale.workload(WorkloadKind::Random, 1.3);
+    let prepared = uvm_sim::prepare(&cfg, &w);
+    c.benchmark_group("hot_paths")
+        .sample_size(10)
+        .bench_function("quick_random_oversub_1_3", |b| {
+            b.iter(|| black_box(uvm_sim::run_prepared(&cfg, &prepared)))
+        });
+}
+
+criterion_group!(
+    hot_paths,
+    bench_batch_preprocess,
+    bench_replay_retry,
+    bench_mask_word_ops,
+    bench_quick_point,
+);
+criterion_main!(hot_paths);

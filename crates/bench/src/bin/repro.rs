@@ -1,13 +1,15 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro <experiment> [--scale <denominator>] [--out <dir>] [--json]
+//! repro <experiment> [--scale <denominator>] [--out <dir>] [--json] [--threads <n>]
 //! repro all
 //! repro list
 //! ```
 //!
 //! `--json` additionally writes each experiment's table as
-//! `<out>/<experiment>.json` for downstream tooling.
+//! `<out>/<experiment>.json` for downstream tooling, plus a
+//! `<out>/BENCH_hotpaths.json` wall-time/throughput report (simulated
+//! faults/sec and warp-steps/sec per experiment).
 //!
 //! Experiments: fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 table1
 //! table2, the §VI ablations (ablation_replay ablation_threshold
@@ -17,9 +19,11 @@
 //!
 //! `--scale N` sets GPU memory to 12 GB / N (default 16). CSV artifacts
 //! (the scatter data behind Figures 7 and 8) are written to `--out`
-//! (default `./repro-out`).
+//! (default `./repro-out`). `--threads N` sizes the rayon pool running
+//! the sweeps; results are deterministic and identical for every N.
 
 use bench::experiments::{ablations, extras, figures, tables, Artifact, Scale};
+use serde::Serialize;
 use std::io::Write;
 use std::path::PathBuf;
 use std::time::Instant;
@@ -59,12 +63,37 @@ const EXPERIMENTS: &[Experiment] = &[
 ];
 
 fn usage() -> ! {
-    eprintln!("usage: repro <experiment|all|list> [--scale <denominator>] [--out <dir>]");
+    eprintln!(
+        "usage: repro <experiment|all|list> [--scale <denominator>] [--out <dir>] \
+         [--json] [--threads <n>]"
+    );
     eprintln!("experiments:");
     for (name, _) in EXPERIMENTS {
         eprintln!("  {name}");
     }
     std::process::exit(2);
+}
+
+/// One experiment's row in the `BENCH_hotpaths.json` throughput report.
+#[derive(Serialize)]
+struct ExperimentPerf {
+    name: String,
+    wall_seconds: f64,
+    /// Simulated faults the driver fetched across the experiment's sweeps.
+    sim_faults: u64,
+    /// Completed GPU warp-steps across the same sweeps.
+    sim_warp_steps: u64,
+    faults_per_sec: f64,
+    warp_steps_per_sec: f64,
+}
+
+/// The `BENCH_hotpaths.json` report `--json` writes alongside the tables.
+#[derive(Serialize)]
+struct PerfReport {
+    scale_denominator: f64,
+    threads: usize,
+    experiments: Vec<ExperimentPerf>,
+    total_wall_seconds: f64,
 }
 
 fn main() {
@@ -76,6 +105,7 @@ fn main() {
     let mut scale_den = 16.0f64;
     let mut out_dir = PathBuf::from("repro-out");
     let mut json = false;
+    let mut threads: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -87,6 +117,18 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage());
             }
+            "--threads" => {
+                i += 1;
+                let n: usize = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                if n == 0 {
+                    eprintln!("error: --threads must be >= 1");
+                    std::process::exit(2);
+                }
+                threads = Some(n);
+            }
             "--out" => {
                 i += 1;
                 out_dir = PathBuf::from(args.get(i).unwrap_or_else(|| usage()));
@@ -95,6 +137,12 @@ fn main() {
             _ => usage(),
         }
         i += 1;
+    }
+    if let Some(n) = threads {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build_global()
+            .expect("configure global thread pool");
     }
     if which == "list" {
         for (name, _) in EXPERIMENTS {
@@ -121,13 +169,28 @@ fn main() {
         fraction: 1.0 / scale_den,
     };
     out(&format!(
-        "# platform: GPU memory = 12GiB/{scale_den} = {} MiB (scaled Titan V)\n",
-        scale.gpu_bytes() >> 20
+        "# platform: GPU memory = 12GiB/{scale_den} = {} MiB (scaled Titan V), \
+         sweep threads = {}\n",
+        scale.gpu_bytes() >> 20,
+        rayon::current_num_threads(),
     ));
 
+    let total0 = Instant::now();
+    let mut perf = Vec::with_capacity(selected.len());
+    bench::experiments::take_sim_totals(); // reset the work accumulator
     for (name, f) in selected {
         let t0 = Instant::now();
         let artifact = f(scale);
+        let wall = t0.elapsed().as_secs_f64();
+        let (sim_faults, sim_warp_steps) = bench::experiments::take_sim_totals();
+        perf.push(ExperimentPerf {
+            name: name.to_string(),
+            wall_seconds: wall,
+            sim_faults,
+            sim_warp_steps,
+            faults_per_sec: sim_faults as f64 / wall,
+            warp_steps_per_sec: sim_warp_steps as f64 / wall,
+        });
         out(&artifact.table.render());
         for (file, contents) in &artifact.csvs {
             std::fs::create_dir_all(&out_dir).expect("create output dir");
@@ -142,9 +205,19 @@ fn main() {
             std::fs::write(&path, body).expect("write json");
             out(&format!("  wrote {}", path.display()));
         }
-        out(&format!(
-            "  [{name} regenerated in {:.1}s]\n",
-            t0.elapsed().as_secs_f64()
-        ));
+        out(&format!("  [{name} regenerated in {wall:.1}s]\n"));
+    }
+    if json {
+        let report = PerfReport {
+            scale_denominator: scale_den,
+            threads: rayon::current_num_threads(),
+            experiments: perf,
+            total_wall_seconds: total0.elapsed().as_secs_f64(),
+        };
+        std::fs::create_dir_all(&out_dir).expect("create output dir");
+        let path = out_dir.join("BENCH_hotpaths.json");
+        let body = serde_json::to_string_pretty(&report).expect("serialize perf report");
+        std::fs::write(&path, body).expect("write perf report");
+        out(&format!("  wrote {}", path.display()));
     }
 }

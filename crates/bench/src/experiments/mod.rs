@@ -7,8 +7,8 @@ pub mod figures;
 pub mod tables;
 
 use metrics::report::Table;
-use rayon::prelude::*;
 use sim_engine::units::GIB;
+use std::sync::atomic::{AtomicU64, Ordering};
 use uvm_sim::{SimConfig, SimReport, Workload, WorkloadKind};
 
 /// Geometric scale of the simulated platform relative to the paper's
@@ -73,12 +73,33 @@ impl Artifact {
     }
 }
 
+/// Simulated faults observed by every sweep since the last
+/// [`take_sim_totals`] call (feeds the `repro --json` throughput report).
+static SWEEP_FAULTS: AtomicU64 = AtomicU64::new(0);
+/// Completed warp-steps across the same sweeps.
+static SWEEP_STEPS: AtomicU64 = AtomicU64::new(0);
+
+/// Drain the accumulated (faults, warp-steps) simulated-work totals.
+/// Counts everything that flowed through [`run_sweep`] since the last
+/// call — the harness divides by wall time for faults/sec and
+/// warp-steps/sec throughput.
+pub fn take_sim_totals() -> (u64, u64) {
+    (
+        SWEEP_FAULTS.swap(0, Ordering::Relaxed),
+        SWEEP_STEPS.swap(0, Ordering::Relaxed),
+    )
+}
+
 /// Run a set of (config, workload) points in parallel, preserving order.
+/// Thin re-export of [`uvm_sim::run_sweep`], which also dedupes trace
+/// generation across points sharing a `(workload, seed)` pair.
 pub fn run_sweep(points: Vec<(SimConfig, Workload)>) -> Vec<SimReport> {
-    points
-        .into_par_iter()
-        .map(|(cfg, w)| uvm_sim::run(&cfg, &w))
-        .collect()
+    let reports = uvm_sim::run_sweep(points);
+    let faults: u64 = reports.iter().map(|r| r.total_faults()).sum();
+    let steps: u64 = reports.iter().map(|r| r.engine.steps_completed).sum();
+    SWEEP_FAULTS.fetch_add(faults, Ordering::Relaxed);
+    SWEEP_STEPS.fetch_add(steps, Ordering::Relaxed);
+    reports
 }
 
 /// Milliseconds with 3 decimals for table cells.

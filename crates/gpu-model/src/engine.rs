@@ -20,7 +20,7 @@ use crate::addr::{AccessType, GlobalPage};
 use crate::fault::{FaultBuffer, FaultEntry};
 use serde::{Deserialize, Serialize};
 use sim_engine::{SimDuration, SimRng, SimTime};
-use std::collections::HashSet;
+use std::sync::Arc;
 
 /// Read-only residency oracle: "is this page currently mapped on the GPU?"
 ///
@@ -216,24 +216,35 @@ pub struct EngineCounters {
     pub steps_completed: u64,
 }
 
-/// A stalled block's remaining missing accesses (page, is_write).
-type PendingAccesses = Box<[(GlobalPage, bool)]>;
-
 /// The GPU execution engine.
 #[derive(Debug)]
 pub struct GpuEngine {
     cfg: GpuConfig,
-    trace: WorkloadTrace,
+    /// Shared so repeated launches of one kernel (and sweep harnesses that
+    /// run the same trace under several configs) skip the deep copy.
+    trace: Arc<WorkloadTrace>,
     status: Vec<BlockStatus>,
     cursor: Vec<u32>,
     /// Remaining missing accesses of each stalled block's current step —
     /// retries after a replay only re-check what was missing, not the
-    /// whole step.
-    pending: Vec<Option<PendingAccesses>>,
+    /// whole step. Non-empty exactly while the block is stalled mid-step;
+    /// the vectors trade places with `miss_scratch` so their capacity is
+    /// reused across the whole launch (no steady-state allocation).
+    /// Entries are page numbers with the write flag packed into the top
+    /// bit ([`WRITE_BIT`]) — the retry scan is bandwidth-bound, and all
+    /// live pending lists together must stay L2-resident.
+    pending: Vec<Vec<u64>>,
     active: Vec<u32>,
     next_pending: u32,
     /// Outstanding faulted pages per µTLB (dedup + flow-control domain).
-    outstanding: Vec<HashSet<GlobalPage>>,
+    /// Sorted, at most `max_outstanding_per_utlb` entries — small enough
+    /// that binary-search + ordered insert beats hashing.
+    outstanding: Vec<Vec<GlobalPage>>,
+    /// 64-bit fingerprint of each µTLB's outstanding set (bit
+    /// `page % 64`): a clear bit proves the page is not outstanding,
+    /// short-circuiting the membership probe on the dominant
+    /// full-set/throttled retry path.
+    outstanding_filter: Vec<u64>,
     counters: EngineCounters,
     compute_work: SimDuration,
     access_counters: AccessCounters,
@@ -241,11 +252,80 @@ pub struct GpuEngine {
     /// (only populated when `track_page_use` is enabled).
     accessed: Vec<u64>,
     rng: SimRng,
+    /// Reusable buffer for the current step's missing accesses (same
+    /// packed encoding as `pending`).
+    miss_scratch: Vec<u64>,
+}
+
+/// Top bit of a packed pending entry: set when the access is a write.
+/// Page numbers occupy the low 63 bits (a 4 KB-page address space of
+/// 2^63 pages is unreachable by construction).
+const WRITE_BIT: u64 = 1 << 63;
+
+/// Raise a far-fault for `page` through one µTLB: coalesce against the
+/// outstanding set, throttle when the set is full, else write a buffer
+/// entry. `filter` is the set's 64-bit fingerprint (bit `page % 64`): a
+/// clear bit proves the page is not outstanding, so the dominant
+/// full-set/throttled retry path exits on one AND instead of a probe.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn raise_fault(
+    set: &mut Vec<GlobalPage>,
+    filter: &mut u64,
+    counters: &mut EngineCounters,
+    buffer: &mut FaultBuffer,
+    max_out: usize,
+    page: GlobalPage,
+    write: bool,
+    utlb: u32,
+    now: SimTime,
+) {
+    let bit = 1u64 << (page.0 % 64);
+    let pos = if *filter & bit == 0 {
+        if set.len() >= max_out {
+            counters.faults_throttled += 1;
+            return;
+        }
+        set.binary_search(&page).unwrap_err()
+    } else {
+        match set.binary_search(&page) {
+            Ok(_) => {
+                counters.faults_coalesced += 1;
+                return;
+            }
+            Err(pos) => {
+                if set.len() >= max_out {
+                    counters.faults_throttled += 1;
+                    return;
+                }
+                pos
+            }
+        }
+    };
+    let entry = FaultEntry {
+        page,
+        access: if write {
+            AccessType::Write
+        } else {
+            AccessType::Read
+        },
+        timestamp: now,
+        utlb,
+    };
+    if buffer.push(entry) {
+        set.insert(pos, page);
+        *filter |= bit;
+        counters.faults_raised += 1;
+    } else {
+        counters.faults_dropped += 1;
+    }
 }
 
 impl GpuEngine {
-    /// Launch `trace` on a GPU with configuration `cfg`.
-    pub fn launch(cfg: GpuConfig, trace: WorkloadTrace, rng: SimRng) -> Self {
+    /// Launch `trace` on a GPU with configuration `cfg`. Accepts an owned
+    /// trace or an `Arc` (repeated launches share one without copying).
+    pub fn launch(cfg: GpuConfig, trace: impl Into<Arc<WorkloadTrace>>, rng: SimRng) -> Self {
+        let trace = trace.into();
         assert!(cfg.num_sms > 0 && cfg.max_blocks_resident > 0 && cfg.num_utlbs > 0);
         let n = trace.blocks.len();
         let accessed = if cfg.track_page_use {
@@ -261,11 +341,14 @@ impl GpuEngine {
         };
         let access_counters = AccessCounters::new(cfg.access_counters.clone());
         let mut eng = GpuEngine {
-            outstanding: (0..cfg.num_utlbs).map(|_| HashSet::new()).collect(),
+            outstanding: (0..cfg.num_utlbs)
+                .map(|_| Vec::with_capacity(cfg.max_outstanding_per_utlb))
+                .collect(),
+            outstanding_filter: vec![0; cfg.num_utlbs],
             cfg,
             status: vec![BlockStatus::Pending; n],
             cursor: vec![0; n],
-            pending: vec![None; n],
+            pending: vec![Vec::new(); n],
             active: Vec::new(),
             next_pending: 0,
             trace,
@@ -274,6 +357,7 @@ impl GpuEngine {
             access_counters,
             accessed,
             rng,
+            miss_scratch: Vec::new(),
         };
         eng.refill_active();
         eng
@@ -311,79 +395,104 @@ impl GpuEngine {
         now: SimTime,
     ) -> bool {
         let utlb = self.utlb_of(block) as u32;
-
-        // Retry only the accesses that were missing last time, if any.
-        let mut to_raise: Vec<(GlobalPage, bool)> = Vec::new();
+        let idx = block as usize;
         let track = self.access_counters.is_enabled();
-        let mut touched: Vec<u64> = Vec::new();
+        let use_tracking = !self.accessed.is_empty();
+
+        // Take the block's pending list (non-empty exactly when this is a
+        // post-replay retry) and the shared miss buffer; both come back at
+        // the end, so their capacity is reused across steps and blocks.
+        let mut pending = std::mem::take(&mut self.pending[idx]);
+        let mut misses = std::mem::take(&mut self.miss_scratch);
+        misses.clear();
+
         {
-            let step = self.cursor[block as usize] as usize;
-            let bt = &self.trace.blocks[block as usize];
-            let cached = self.pending[block as usize].take();
-            let accesses: Box<dyn Iterator<Item = (GlobalPage, bool)> + '_> = match &cached {
-                Some(list) => Box::new(list.iter().copied()),
-                None => Box::new(bt.step(step)),
-            };
-            let use_tracking = !self.accessed.is_empty();
-            for (page, write) in accesses {
-                if residency.is_resident(page) {
-                    self.counters.resident_accesses += 1;
-                    if track {
-                        touched.push(page.0);
+            // Split borrows so one pass over the accesses can check
+            // residency and raise faults together: all of a block's misses
+            // go through the same µTLB, so interleaving the fault-raising
+            // with the scan leaves buffer/counter order unchanged.
+            let max_out = self.cfg.max_outstanding_per_utlb;
+            let set = &mut self.outstanding[utlb as usize];
+            let filter = &mut self.outstanding_filter[utlb as usize];
+            let counters = &mut self.counters;
+            let access_counters = &mut self.access_counters;
+            let accessed = &mut self.accessed;
+
+            if pending.is_empty() {
+                // Fresh attempt: walk the trace step.
+                let step = self.cursor[idx] as usize;
+                for (page, write) in self.trace.blocks[idx].step(step) {
+                    if residency.is_resident(page) {
+                        counters.resident_accesses += 1;
+                        if track {
+                            access_counters.record(page.0);
+                        }
+                        if use_tracking {
+                            accessed[page.0 as usize / 64] |= 1 << (page.0 % 64);
+                        }
+                    } else {
+                        misses.push(page.0 | (write as u64) * WRITE_BIT);
+                        raise_fault(set, filter, counters, buffer, max_out, page, write, utlb, now);
                     }
-                    if use_tracking {
-                        self.accessed[page.0 as usize / 64] |= 1 << (page.0 % 64);
-                    }
-                } else {
-                    to_raise.push((page, write));
                 }
+            } else {
+                // Retry: only re-check what was missing last time. The miss
+                // list is copied out lazily: in the thrash steady state no
+                // pending page became resident, and then `pending` already
+                // IS the miss list — the retry writes nothing at all.
+                let mut had_hit = false;
+                for i in 0..pending.len() {
+                    let packed = pending[i];
+                    let page = GlobalPage(packed & !WRITE_BIT);
+                    let write = packed & WRITE_BIT != 0;
+                    if residency.is_resident(page) {
+                        counters.resident_accesses += 1;
+                        if track {
+                            access_counters.record(page.0);
+                        }
+                        if use_tracking {
+                            accessed[page.0 as usize / 64] |= 1 << (page.0 % 64);
+                        }
+                        if !had_hit {
+                            had_hit = true;
+                            misses.extend_from_slice(&pending[..i]);
+                        }
+                    } else {
+                        if had_hit {
+                            misses.push(packed);
+                        }
+                        raise_fault(set, filter, counters, buffer, max_out, page, write, utlb, now);
+                    }
+                }
+                if !had_hit {
+                    // Nothing became resident: keep `pending` as-is.
+                    debug_assert!(!pending.is_empty());
+                    self.pending[idx] = pending;
+                    self.miss_scratch = misses;
+                    self.status[idx] = BlockStatus::Stalled;
+                    return false;
+                }
+                pending.clear();
             }
         }
-        let missing = !to_raise.is_empty();
 
-        for page in touched {
-            self.access_counters.record(page);
-        }
-        if !missing {
+        if misses.is_empty() {
+            self.pending[idx] = pending;
+            self.miss_scratch = misses;
             self.counters.steps_completed += 1;
-            self.compute_work += self.trace.blocks[block as usize].step_cost;
-            self.cursor[block as usize] += 1;
-            if self.cursor[block as usize] as usize == self.trace.blocks[block as usize].num_steps()
-            {
-                self.status[block as usize] = BlockStatus::Done;
+            self.compute_work += self.trace.blocks[idx].step_cost;
+            self.cursor[idx] += 1;
+            if self.cursor[idx] as usize == self.trace.blocks[idx].num_steps() {
+                self.status[idx] = BlockStatus::Done;
             }
             return true;
         }
 
-        self.pending[block as usize] = Some(to_raise.clone().into_boxed_slice());
-        for (page, write) in to_raise {
-            let set = &mut self.outstanding[utlb as usize];
-            if set.contains(&page) {
-                self.counters.faults_coalesced += 1;
-                continue;
-            }
-            if set.len() >= self.cfg.max_outstanding_per_utlb {
-                self.counters.faults_throttled += 1;
-                continue;
-            }
-            let entry = FaultEntry {
-                page,
-                access: if write {
-                    AccessType::Write
-                } else {
-                    AccessType::Read
-                },
-                timestamp: now,
-                utlb,
-            };
-            if buffer.push(entry) {
-                set.insert(page);
-                self.counters.faults_raised += 1;
-            } else {
-                self.counters.faults_dropped += 1;
-            }
-        }
-        self.status[block as usize] = BlockStatus::Stalled;
+        // The miss list becomes the block's pending list; the emptied old
+        // pending vector becomes the next step's scratch. No copies.
+        self.pending[idx] = misses;
+        self.miss_scratch = pending;
+        self.status[idx] = BlockStatus::Stalled;
         false
     }
 
@@ -400,9 +509,14 @@ impl GpuEngine {
         buffer: &mut FaultBuffer,
         now: SimTime,
     ) -> EngineStatus {
+        let mut any_done = true;
         loop {
-            self.active
-                .retain(|&b| !matches!(self.status[b as usize], BlockStatus::Done));
+            // Done blocks only appear via attempt_step, so the sweep can be
+            // skipped on iterations where no block finished.
+            if any_done {
+                self.active
+                    .retain(|&b| !matches!(self.status[b as usize], BlockStatus::Done));
+            }
             let before_refill = self.active.len();
             self.refill_active();
             let refilled = self.active.len() > before_refill;
@@ -411,6 +525,7 @@ impl GpuEngine {
             }
 
             let mut progressed = false;
+            any_done = false;
             let n = self.active.len();
             let rot = if n > 1 { self.rng.index(n) } else { 0 };
             for i in 0..n {
@@ -421,15 +536,19 @@ impl GpuEngine {
                         progressed = true;
                     }
                 }
+                if matches!(self.status[b as usize], BlockStatus::Done) {
+                    any_done = true;
+                }
             }
             if !progressed && !refilled {
-                let all_stalled = self
+                // Every active block was visited and left Stalled (a Done
+                // block would have progressed; no refill means no fresh
+                // Runnable block) — the driver must act.
+                debug_assert!(self
                     .active
                     .iter()
-                    .all(|&b| matches!(self.status[b as usize], BlockStatus::Stalled));
-                if all_stalled {
-                    return EngineStatus::Stalled;
-                }
+                    .all(|&b| matches!(self.status[b as usize], BlockStatus::Stalled)));
+                return EngineStatus::Stalled;
             }
         }
     }
@@ -440,8 +559,9 @@ impl GpuEngine {
     pub fn replay(&mut self) {
         self.counters.replays += 1;
         for set in &mut self.outstanding {
-            set.clear();
+            set.clear(); // capacity retained
         }
+        self.outstanding_filter.fill(0);
         for s in &mut self.status {
             if matches!(s, BlockStatus::Stalled) {
                 *s = BlockStatus::Runnable;

@@ -103,8 +103,17 @@ impl FaultBuffer {
     /// of polls incurred.
     pub fn fetch(&mut self, max: usize, now: SimTime) -> (Vec<FaultEntry>, u64) {
         let mut out = Vec::with_capacity(max.min(self.entries.len()));
+        let polls = self.fetch_into(&mut out, max, now);
+        (out, polls)
+    }
+
+    /// Like [`fetch`](Self::fetch), but appends into a caller-provided
+    /// buffer so a driver can reuse one allocation across batches.
+    /// Returns the number of polls incurred.
+    pub fn fetch_into(&mut self, out: &mut Vec<FaultEntry>, max: usize, now: SimTime) -> u64 {
         let mut polls = 0;
-        while out.len() < max {
+        let mut taken = 0;
+        while taken < max {
             let Some(head) = self.entries.front() else {
                 break;
             };
@@ -112,9 +121,10 @@ impl FaultBuffer {
                 polls += 1;
             }
             out.push(self.entries.pop_front().expect("head checked above"));
+            taken += 1;
         }
-        self.fetched += out.len() as u64;
-        (out, polls)
+        self.fetched += taken as u64;
+        polls
     }
 
     /// Flush: discard every entry currently in the buffer (the BatchFlush

@@ -155,6 +155,55 @@ impl PageMask {
         }
     }
 
+    /// Set every bit in the arbitrary (unaligned) span
+    /// `[start, start + len)`, word at a time.
+    ///
+    /// Unlike [`set_range`](Self::set_range) this accepts any span, so the
+    /// sequential prefetcher can mark a run of pages without a per-bit
+    /// loop.
+    pub fn set_span(&mut self, start: usize, len: usize) {
+        debug_assert!(start + len <= PAGES_PER_VABLOCK);
+        if len == 0 {
+            return;
+        }
+        let end = start + len; // exclusive
+        let (w0, w1) = (start / 64, (end - 1) / 64);
+        // Bits of the first word at and above `start % 64`.
+        let first = u64::MAX << (start % 64);
+        // Bits of the last word strictly below `end`, i.e. up to and
+        // including bit (end - 1) % 64.
+        let last = u64::MAX >> (63 - (end - 1) % 64);
+        if w0 == w1 {
+            self.words[w0] |= first & last;
+        } else {
+            self.words[w0] |= first;
+            for w in &mut self.words[w0 + 1..w1] {
+                *w = u64::MAX;
+            }
+            self.words[w1] |= last;
+        }
+    }
+
+    /// Visit every nonzero 64-bit word as `(word_index, bits)` — page
+    /// `word_index * 64 + b` is set for each set bit `b` of `bits`. The
+    /// word-at-a-time complement of [`iter_set`](Self::iter_set) for
+    /// callers that can process 64 pages per step.
+    #[inline]
+    pub fn for_each_set_word(&self, mut f: impl FnMut(usize, u64)) {
+        for (wi, &w) in self.words.iter().enumerate() {
+            if w != 0 {
+                f(wi, w);
+            }
+        }
+    }
+
+    /// The mask's backing words, least-significant page first (8 × 64
+    /// bits). For bulk copies into word-granularity indexes.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// Iterate over indices of set bits, ascending.
     pub fn iter_set(&self) -> impl Iterator<Item = usize> + '_ {
         self.words.iter().enumerate().flat_map(|(wi, &w)| {
@@ -235,6 +284,62 @@ mod tests {
         let mut c = a;
         c.or_with(&b);
         assert_eq!(c, a.union(&b));
+    }
+
+    #[test]
+    fn set_span_matches_naive_per_bit_loop() {
+        // Every (start, len) shape that matters: empty, within one word,
+        // word-crossing, word-aligned, full-mask, and ending on bit 511.
+        let cases = [
+            (0, 0),
+            (7, 0),
+            (0, 1),
+            (3, 5),
+            (0, 64),
+            (60, 8),
+            (63, 2),
+            (1, 511),
+            (100, 300),
+            (448, 64),
+            (511, 1),
+            (0, 512),
+        ];
+        for &(start, len) in &cases {
+            let mut fast = PageMask::EMPTY;
+            fast.set_span(start, len);
+            let mut naive = PageMask::EMPTY;
+            for i in start..start + len {
+                naive.set(i);
+            }
+            assert_eq!(fast, naive, "set_span({start}, {len})");
+        }
+        // Spans OR into existing bits rather than overwriting.
+        let mut m = PageMask::EMPTY;
+        m.set(0);
+        m.set_span(100, 10);
+        assert!(m.get(0) && m.get(100) && m.get(109) && !m.get(110));
+    }
+
+    #[test]
+    fn for_each_set_word_covers_all_set_bits() {
+        let mut m = PageMask::EMPTY;
+        let idxs = [0usize, 5, 63, 64, 200, 511];
+        for &i in &idxs {
+            m.set(i);
+        }
+        let mut seen = Vec::new();
+        m.for_each_set_word(|wi, bits| {
+            let mut b = bits;
+            while b != 0 {
+                seen.push(wi * 64 + b.trailing_zeros() as usize);
+                b &= b - 1;
+            }
+        });
+        assert_eq!(seen, idxs);
+        // Zero words are skipped entirely.
+        let mut calls = 0;
+        PageMask::EMPTY.for_each_set_word(|_, _| calls += 1);
+        assert_eq!(calls, 0);
     }
 
     #[test]

@@ -69,11 +69,21 @@ impl VaBlockState {
     }
 }
 
+/// Words of the dense residency index covering one VABlock (512 pages).
+const WORDS_PER_BLOCK: usize = PAGES_PER_VABLOCK / 64;
+
 /// The managed virtual address space: ranges, VABlocks, residency.
 #[derive(Debug, Clone, Default)]
 pub struct ManagedSpace {
     ranges: Vec<VaRange>,
     blocks: Vec<VaBlockState>,
+    /// Dense residency index: one bit per page of the whole space, kept in
+    /// sync with the per-block `resident` masks by
+    /// [`sync_block_residency`](Self::sync_block_residency). The engine
+    /// queries residency on every page access of every replay retry, and
+    /// this flat array keeps that hot read inside a few cache lines
+    /// instead of striding across the 300-byte block states.
+    resident_bits: Vec<u64>,
 }
 
 impl ManagedSpace {
@@ -102,6 +112,8 @@ impl ManagedSpace {
             }
             self.blocks.push(st);
         }
+        self.resident_bits
+            .resize(self.blocks.len() * WORDS_PER_BLOCK, 0);
         let range = VaRange {
             name: name.into(),
             start_page,
@@ -141,6 +153,16 @@ impl ManagedSpace {
         self.blocks.iter().map(|b| b.resident.count() as u64).sum()
     }
 
+    /// Refresh the dense residency index for `idx` from its block's
+    /// `resident` mask. Must be called after every mutation of a block's
+    /// residency (fault service, eviction, hint prefetch, host access).
+    #[inline]
+    pub fn sync_block_residency(&mut self, idx: VaBlockIdx) {
+        let w0 = idx.0 as usize * WORDS_PER_BLOCK;
+        self.resident_bits[w0..w0 + WORDS_PER_BLOCK]
+            .copy_from_slice(self.blocks[idx.0 as usize].resident.words());
+    }
+
     /// True if `page` belongs to some allocation.
     pub fn is_valid(&self, page: GlobalPage) -> bool {
         let vb = page.vablock().0 as usize;
@@ -151,9 +173,20 @@ impl ManagedSpace {
 impl Residency for ManagedSpace {
     #[inline]
     fn is_resident(&self, page: GlobalPage) -> bool {
-        let vb = page.vablock().0 as usize;
-        debug_assert!(vb < self.blocks.len(), "access outside managed space");
-        self.blocks[vb].resident.get(page.offset_in_vablock())
+        let w = page.0 as usize / 64;
+        debug_assert!(w < self.resident_bits.len(), "access outside managed space");
+        let hit = self.resident_bits[w] & (1u64 << (page.0 % 64)) != 0;
+        // The dense index must mirror the per-block masks; a mismatch
+        // means a mutation site forgot to call `sync_block_residency`.
+        debug_assert_eq!(
+            hit,
+            self.blocks[page.vablock().0 as usize]
+                .resident
+                .get(page.offset_in_vablock()),
+            "dense residency index out of sync for page {}",
+            page.0
+        );
+        hit
     }
 }
 
@@ -197,6 +230,7 @@ mod tests {
         let p = GlobalPage(37);
         assert!(!s.is_resident(p));
         s.block_mut(VaBlockIdx(0)).resident.set(37);
+        s.sync_block_residency(VaBlockIdx(0));
         assert!(s.is_resident(p));
         assert_eq!(s.resident_pages(), 1);
     }

@@ -6,11 +6,17 @@
 //! resident — stale entries left by non-flushing replay policies), and
 //! sorts the survivors into their VABlock bins so servicing can coalesce
 //! per-block work.
+//!
+//! Binning is sort-then-group over a [`BatchArena`] the driver owns:
+//! entries are sorted by page id (equivalently `(vablock, offset)`), so
+//! each block's faults form one contiguous run and the groups come out in
+//! ascending block order with no per-batch map allocation. Once the
+//! arena's buffers have grown to the workload's high-water mark, a batch
+//! performs zero heap allocations.
 
 use crate::address_space::ManagedSpace;
-use gpu_model::{AccessType, FaultBuffer, PageMask, VaBlockIdx};
+use gpu_model::{AccessType, FaultBuffer, FaultEntry, PageMask, VaBlockIdx};
 use sim_engine::SimTime;
-use std::collections::BTreeMap;
 
 /// The de-duplicated faults of one VABlock within a batch.
 #[derive(Debug, Clone)]
@@ -48,19 +54,39 @@ impl Batch {
     }
 }
 
-/// Fetch and pre-process one batch of faults.
-pub fn gather(
+/// Reusable batch pre-processing buffers, held by the driver across
+/// passes. `entries` is the fetch staging area; `batch` keeps its group
+/// vector's capacity between batches.
+#[derive(Debug, Clone, Default)]
+pub struct BatchArena {
+    entries: Vec<FaultEntry>,
+    /// The most recently gathered batch.
+    pub batch: Batch,
+}
+
+/// Fetch and pre-process one batch of faults into `arena.batch`,
+/// reusing the arena's buffers (allocation-free at steady state).
+pub fn gather_into(
     buffer: &mut FaultBuffer,
     batch_size: usize,
     now: SimTime,
     space: &ManagedSpace,
-) -> Batch {
-    let (entries, polls) = buffer.fetch(batch_size, now);
-    let mut bins: BTreeMap<VaBlockIdx, FaultGroup> = BTreeMap::new();
-    let mut duplicates = 0u64;
-    let fetched = entries.len() as u64;
+    arena: &mut BatchArena,
+) {
+    arena.entries.clear();
+    let polls = buffer.fetch_into(&mut arena.entries, batch_size, now);
+    let batch = &mut arena.batch;
+    batch.groups.clear();
+    batch.fetched = arena.entries.len() as u64;
+    batch.duplicates = 0;
+    batch.polls = polls;
 
-    for e in entries {
+    // Sort by raw page id — identical to (vablock, offset) order — so each
+    // block's faults form one contiguous run. Masks and entry counts are
+    // order-insensitive, so an unstable sort changes nothing observable.
+    arena.entries.sort_unstable_by_key(|e| e.page.0);
+
+    for e in &arena.entries {
         let vb = e.page.vablock();
         let off = e.page.offset_in_vablock();
         let st = space.block(vb);
@@ -69,37 +95,46 @@ pub fn gather(
             // Release-mode hardening: a malformed trace faulting outside
             // any allocation is dropped as spurious rather than allowed
             // to corrupt residency bookkeeping.
-            duplicates += 1;
+            batch.duplicates += 1;
             continue;
         }
         if st.resident.get(off) {
             // Stale entry: the page was serviced by an earlier batch (the
             // Batch/Block policies leave such entries behind).
-            duplicates += 1;
+            batch.duplicates += 1;
             continue;
         }
-        let group = bins.entry(vb).or_insert_with(|| FaultGroup {
-            block: vb,
-            fault_mask: PageMask::EMPTY,
-            write_mask: PageMask::EMPTY,
-            num_entries: 0,
-        });
+        if batch.groups.last().map(|g| g.block) != Some(vb) {
+            batch.groups.push(FaultGroup {
+                block: vb,
+                fault_mask: PageMask::EMPTY,
+                write_mask: PageMask::EMPTY,
+                num_entries: 0,
+            });
+        }
+        let group = batch.groups.last_mut().expect("group pushed above");
         group.num_entries += 1;
         if !group.fault_mask.set(off) {
             // Same page faulted from two µTLBs within this batch.
-            duplicates += 1;
+            batch.duplicates += 1;
         }
         if matches!(e.access, AccessType::Write) {
             group.write_mask.set(off);
         }
     }
+}
 
-    Batch {
-        groups: bins.into_values().collect(),
-        fetched,
-        duplicates,
-        polls,
-    }
+/// Fetch and pre-process one batch of faults (convenience wrapper over
+/// [`gather_into`] with a throwaway arena).
+pub fn gather(
+    buffer: &mut FaultBuffer,
+    batch_size: usize,
+    now: SimTime,
+    space: &ManagedSpace,
+) -> Batch {
+    let mut arena = BatchArena::default();
+    gather_into(buffer, batch_size, now, space, &mut arena);
+    arena.batch
 }
 
 #[cfg(test)]

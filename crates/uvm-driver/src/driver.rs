@@ -5,7 +5,7 @@
 
 use crate::address_space::ManagedSpace;
 use crate::address_space::VaRange;
-use crate::batch::{self, FaultGroup};
+use crate::batch::{self, BatchArena, FaultGroup};
 use crate::lru::LruList;
 use crate::pma::Pma;
 use crate::policy::{EvictionPolicy, ReplayPolicy};
@@ -88,6 +88,13 @@ pub struct UvmDriver {
     thrash: ThrashDetector,
     faults_per_batch: Histogram,
     vablocks_per_batch: Histogram,
+    /// Batch pre-processing buffers, reused across passes (taken out and
+    /// put back around the service loop so groups can be read while the
+    /// driver mutates itself).
+    arena: BatchArena,
+    /// Eviction scratch: pinned blocks popped from the LRU while hunting
+    /// for a victim, re-inserted afterwards. Reused across evictions.
+    evict_skipped: Vec<VaBlockIdx>,
 }
 
 impl UvmDriver {
@@ -129,6 +136,8 @@ impl UvmDriver {
             first_touch_done: false,
             faults_per_batch: Histogram::default(),
             vablocks_per_batch: Histogram::default(),
+            arena: BatchArena::default(),
+            evict_skipped: Vec::new(),
             cfg,
         }
     }
@@ -168,7 +177,12 @@ impl UvmDriver {
         // faults raised just before the interrupt have had their payloads
         // land; only a genuine race costs polls.
         self.thrash.on_batch();
-        let batch = batch::gather(buffer, self.cfg.batch_size, now + t, &self.space);
+        // Take the arena out of the driver for the duration of the pass so
+        // the groups can be iterated while `service_group(&mut self)` runs;
+        // put it back below to keep its buffers for the next pass.
+        let mut arena = std::mem::take(&mut self.arena);
+        batch::gather_into(buffer, self.cfg.batch_size, now + t, &self.space, &mut arena);
+        let batch = &arena.batch;
         let mut pre = self.cost.fault_fetch(batch.fetched) + self.cost.fault_poll(batch.polls);
         if batch.fetched > 0 {
             pre += self.cost.batch_sort();
@@ -223,10 +237,12 @@ impl UvmDriver {
         );
         self.counters.replays += replays;
 
+        let fetched = batch.fetched;
+        self.arena = arena;
         PassResult {
             time: t,
             replays,
-            fetched: batch.fetched,
+            fetched,
             pages_migrated,
         }
     }
@@ -264,13 +280,10 @@ impl UvmDriver {
         // sub-region; evict (other) blocks when memory is exhausted.
         let g = self.cfg.alloc_granularity_pages;
         let backed = self.space.block(vb).backed;
-        let mut units_to_back: Vec<usize> = Vec::new();
         for unit_start in (0..PAGES_PER_VABLOCK).step_by(g) {
-            if to_migrate.count_range(unit_start, g) > 0 && backed.count_range(unit_start, g) == 0 {
-                units_to_back.push(unit_start);
+            if to_migrate.count_range(unit_start, g) == 0 || backed.count_range(unit_start, g) > 0 {
+                continue;
             }
-        }
-        for unit_start in units_to_back {
             let bytes = g as u64 * PAGE_SIZE;
             loop {
                 match self.pma.alloc(bytes, &self.cost, &mut self.rng) {
@@ -313,6 +326,7 @@ impl UvmDriver {
             let dirty_new = group.write_mask.intersect(&faulted);
             st.dirty.or_with(&dirty_new);
         }
+        self.space.sync_block_residency(vb);
         self.lru.touch(vb);
 
         self.counters.pages_faulted_in += faulted.count() as u64;
@@ -341,7 +355,8 @@ impl UvmDriver {
     fn evict_one(&mut self, exclude: VaBlockIdx, now: SimTime) -> SimDuration {
         let mut victim = None;
         let mut skipped_exclude = false;
-        let mut skipped_pinned: Vec<VaBlockIdx> = Vec::new();
+        let mut skipped_pinned = std::mem::take(&mut self.evict_skipped);
+        skipped_pinned.clear();
         while let Some(v) = self.lru.pop_lru() {
             if v == exclude {
                 skipped_exclude = true;
@@ -360,9 +375,10 @@ impl UvmDriver {
         if victim.is_none() {
             victim = skipped_pinned.pop();
         }
-        for v in skipped_pinned.into_iter().rev() {
+        for v in skipped_pinned.drain(..).rev() {
             self.lru.touch(v);
         }
+        self.evict_skipped = skipped_pinned;
         if skipped_exclude {
             // The faulting block goes back as MRU; it is being serviced.
             self.lru.touch(exclude);
@@ -386,6 +402,7 @@ impl UvmDriver {
             st.eviction_count += 1;
             (dirty, resident, backed)
         };
+        self.space.sync_block_residency(victim);
 
         let mut cost = self.cost.evict_fixed() + self.cost.unmap_pages(resident_pages);
         if dirty_pages > 0 {
@@ -462,6 +479,7 @@ impl UvmDriver {
                 st.resident.or_with(&wanted);
                 st.prefetched_ever.or_with(&wanted);
             }
+            self.space.sync_block_residency(vb);
             self.lru.touch(vb);
             self.counters.pages_hint_prefetched += n;
             if self.trace.is_enabled() {
@@ -509,6 +527,7 @@ impl UvmDriver {
                 st.backed = PageMask::EMPTY;
                 b
             };
+            self.space.sync_block_residency(vb);
             self.pma.free(backed_pages * PAGE_SIZE);
             self.lru.remove(vb);
             self.counters.pages_migrated_to_host += n;

@@ -51,7 +51,7 @@ pub mod prefetch;
 pub mod thrash;
 
 pub use address_space::{ManagedSpace, VaBlockState, VaRange};
-pub use batch::{Batch, FaultGroup};
+pub use batch::{Batch, BatchArena, FaultGroup};
 pub use driver::{DriverConfig, PassResult, UvmDriver};
 pub use lru::LruList;
 pub use pma::{Pma, PmaExhausted, PmaGrant};

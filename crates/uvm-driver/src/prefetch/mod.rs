@@ -133,13 +133,12 @@ pub fn compute_prefetch(
         ResolvedPrefetch::Disabled => return PageMask::EMPTY,
         ResolvedPrefetch::Sequential { degree } => {
             // Next-N in fault order: pull the pages following each fault
-            // within the VABlock (the classic OS readahead shape).
+            // within the VABlock (the classic OS readahead shape). Each
+            // run is marked word-at-a-time.
             let mut marked = PageMask::EMPTY;
             for leaf in faulted.iter_set() {
                 let end = (leaf + 1 + degree as usize).min(sim_engine::units::PAGES_PER_VABLOCK);
-                for p in leaf + 1..end {
-                    marked.set(p);
-                }
+                marked.set_span(leaf + 1, end - (leaf + 1));
             }
             return marked
                 .intersect(valid)

@@ -17,10 +17,13 @@ use std::ops::Range;
 const NUM_NODES: usize = 2 * PAGES_PER_VABLOCK - 1;
 
 /// Flattened per-VABlock density tree.
+///
+/// Storage is inline (~2 KB on the stack): the tree is rebuilt for every
+/// serviced VABlock group, so it must not touch the heap.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DensityTree {
     // counts[offset(level) + idx] = occupied leaves under node (level, idx).
-    counts: Vec<u16>,
+    counts: [u16; NUM_NODES],
 }
 
 #[inline]
@@ -39,10 +42,14 @@ impl DensityTree {
     /// Build the tree from an occupancy mask (resident ∪ faulted ∪
     /// prefetch-flagged pages).
     pub fn from_mask(mask: &PageMask) -> Self {
-        let mut counts = vec![0u16; NUM_NODES];
-        for leaf in mask.iter_set() {
-            counts[leaf] = 1;
-        }
+        let mut counts = [0u16; NUM_NODES];
+        mask.for_each_set_word(|wi, bits| {
+            let mut b = bits;
+            while b != 0 {
+                counts[wi * 64 + b.trailing_zeros() as usize] = 1;
+                b &= b - 1;
+            }
+        });
         for level in 1..=PREFETCH_TREE_LEVELS {
             let off = level_offset(level);
             let child_off = level_offset(level - 1);

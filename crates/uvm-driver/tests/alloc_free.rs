@@ -1,0 +1,96 @@
+//! Proof that steady-state batch pre-processing is allocation-free: after
+//! one warm-up pass sizes the arena, `gather_into` must not touch the
+//! heap again. A counting global allocator makes the claim checkable
+//! instead of aspirational — if someone reintroduces a per-batch map or
+//! a `collect()`, this test fails with the allocation count.
+
+use gpu_model::{AccessType, FaultBuffer, FaultBufferConfig, FaultEntry, GlobalPage};
+use sim_engine::{SimDuration, SimTime};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use uvm_driver::batch::{gather_into, BatchArena};
+use uvm_driver::ManagedSpace;
+
+/// Passes allocations through to the system allocator, counting them.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// A full batch of faults shaped like the thrash steady state: many
+/// VABlocks, unsorted arrival order, duplicates across µTLBs.
+fn fill_buffer(buffer: &mut FaultBuffer, batch: u64) {
+    for i in 0..256u64 {
+        let page = (i * 193 + batch * 7) % 4096;
+        buffer.push(FaultEntry {
+            page: GlobalPage(page),
+            access: if i % 3 == 0 {
+                AccessType::Write
+            } else {
+                AccessType::Read
+            },
+            timestamp: SimTime::ZERO + SimDuration::from_nanos(batch * 1000 + i),
+            utlb: (i % 80) as u32,
+        });
+    }
+}
+
+#[test]
+fn steady_state_batch_preprocessing_does_not_allocate() {
+    let mut space = ManagedSpace::new();
+    space.alloc(4096 * 4096, "alloc-free");
+    let mut buffer = FaultBuffer::new(FaultBufferConfig::default());
+    let mut arena = BatchArena::default();
+
+    // Warm-up: the first gathers size the arena's entry and group vectors.
+    for batch in 0..4 {
+        fill_buffer(&mut buffer, batch);
+        gather_into(
+            &mut buffer,
+            256,
+            SimTime::ZERO + SimDuration::from_millis(batch + 1),
+            &space,
+            &mut arena,
+        );
+        assert!(!arena.batch.groups.is_empty(), "warm-up produced no groups");
+    }
+
+    // Steady state: zero heap allocations over many batches.
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for batch in 4..64 {
+        fill_buffer(&mut buffer, batch);
+        gather_into(
+            &mut buffer,
+            256,
+            SimTime::ZERO + SimDuration::from_millis(batch + 1),
+            &space,
+            &mut arena,
+        );
+        assert!(!arena.batch.groups.is_empty());
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state gather_into allocated {} times",
+        after - before
+    );
+}

@@ -37,13 +37,16 @@ pub mod config;
 pub mod simulator;
 
 pub use config::SimConfig;
-pub use simulator::{run, run_repeated, LaunchStats, SimReport};
+pub use simulator::{
+    prepare, run, run_prepared, run_repeated, run_sweep, LaunchStats, PreparedWorkload, SimReport,
+};
 
 // Re-export the workspace's public surface for downstream users.
 pub use gpu_model::{self, FaultBufferConfig, GpuConfig};
 pub use metrics::{self, Category, Counters, EventKind, Timers, TraceEvent};
 pub use sim_engine::{self, CostModel, CostModelConfig, SimDuration, SimRng, SimTime};
 pub use uvm_driver::{
-    self, DriverConfig, EvictionPolicy, ManagedSpace, PrefetchPolicy, ReplayPolicy, UvmDriver,
+    self, BatchArena, DriverConfig, EvictionPolicy, ManagedSpace, PrefetchPolicy, ReplayPolicy,
+    UvmDriver,
 };
 pub use workloads::{self, Workload, WorkloadKind};

@@ -24,8 +24,11 @@ use gpu_model::engine::EngineCounters;
 use gpu_model::{FaultBuffer, GpuEngine};
 use metrics::{Counters, Timers, TraceEvent};
 use serde::{Deserialize, Serialize};
+use gpu_model::WorkloadTrace;
+use rayon::prelude::*;
 use sim_engine::units::PAGE_SIZE;
 use sim_engine::{CostModel, SimDuration, SimRng, SimTime};
+use std::sync::Arc;
 use uvm_driver::{ManagedSpace, UvmDriver};
 use workloads::Workload;
 
@@ -80,18 +83,53 @@ impl SimReport {
     }
 }
 
+/// A workload's generated trace and address space, reusable across runs.
+///
+/// Trace generation is deterministic in `(workload, seed)` and costs
+/// milliseconds at full scale; sweeps that run the same workload under
+/// several driver configs [`prepare`] once and [`run_prepared`] many
+/// times. The trace is behind an [`Arc`], so a prepared workload is cheap
+/// to clone and thread-safe to share.
+#[derive(Debug, Clone)]
+pub struct PreparedWorkload {
+    space: ManagedSpace,
+    trace: Arc<WorkloadTrace>,
+    seed: u64,
+}
+
+/// Generate `workload`'s trace for `config`'s seed, once.
+pub fn prepare(config: &SimConfig, workload: &Workload) -> PreparedWorkload {
+    let root = SimRng::from_seed(config.seed);
+    let mut space = ManagedSpace::new();
+    let trace = workload.generate(&mut space, &mut root.derive(1));
+    PreparedWorkload {
+        space,
+        trace: Arc::new(trace),
+        seed: config.seed,
+    }
+}
+
 /// Run `workload` under `config` and report.
 pub fn run(config: &SimConfig, workload: &Workload) -> SimReport {
+    run_prepared(config, &prepare(config, workload))
+}
+
+/// Run a [`prepare`]d workload under `config` and report. Equivalent to
+/// [`run`] — bit-identical results — minus the trace generation.
+pub fn run_prepared(config: &SimConfig, prepared: &PreparedWorkload) -> SimReport {
+    assert_eq!(
+        prepared.seed, config.seed,
+        "prepared workload was generated for a different seed"
+    );
     let cost = CostModel::new(config.cost.clone());
     let root = SimRng::from_seed(config.seed);
 
-    let mut space = ManagedSpace::new();
-    let trace = workload.generate(&mut space, &mut root.derive(1));
+    let space = prepared.space.clone();
     let footprint_bytes = space.ranges().iter().map(|r| r.num_pages).sum::<u64>() * PAGE_SIZE;
     let subscription_ratio = footprint_bytes as f64 / config.driver.gpu_memory_bytes as f64;
 
     let mut driver = UvmDriver::new(config.driver.clone(), cost.clone(), space, root.derive(2));
-    let mut engine = GpuEngine::launch(config.gpu.clone(), trace, root.derive(3));
+    let mut engine = GpuEngine::launch(config.gpu.clone(), Arc::clone(&prepared.trace), root.derive(3));
     let mut buffer = FaultBuffer::new(config.fault_buffer.clone());
 
     let mut clock = SimTime::ZERO + cost.kernel_launch();
@@ -176,6 +214,34 @@ pub fn run(config: &SimConfig, workload: &Workload) -> SimReport {
     }
 }
 
+/// Run every `(config, workload)` point of a sweep, in parallel when a
+/// rayon thread pool offers more than one thread, returning reports in
+/// input order.
+///
+/// Trace generation is hoisted and deduplicated: points sharing a
+/// `(workload, seed)` pair — e.g. the same workload measured with
+/// prefetching on and off — are [`prepare`]d once. Results are
+/// bit-identical to calling [`run`] on each point.
+pub fn run_sweep(points: Vec<(SimConfig, Workload)>) -> Vec<SimReport> {
+    let mut prepared: Vec<(u64, Workload, PreparedWorkload)> = Vec::new();
+    let jobs: Vec<(SimConfig, usize)> = points
+        .into_iter()
+        .map(|(config, workload)| {
+            let idx = prepared
+                .iter()
+                .position(|(seed, w, _)| *seed == config.seed && *w == workload)
+                .unwrap_or_else(|| {
+                    prepared.push((config.seed, workload.clone(), prepare(&config, &workload)));
+                    prepared.len() - 1
+                });
+            (config, idx)
+        })
+        .collect();
+    jobs.into_par_iter()
+        .map(|(config, idx)| run_prepared(&config, &prepared[idx].2))
+        .collect()
+}
+
 /// Per-launch summary from [`run_repeated`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LaunchStats {
@@ -201,7 +267,7 @@ pub fn run_repeated(config: &SimConfig, workload: &Workload, launches: u32) -> V
     let root = SimRng::from_seed(config.seed);
 
     let mut space = ManagedSpace::new();
-    let trace = workload.generate(&mut space, &mut root.derive(1));
+    let trace = Arc::new(workload.generate(&mut space, &mut root.derive(1)));
     let mut driver = UvmDriver::new(config.driver.clone(), cost.clone(), space, root.derive(2));
     let mut buffer = FaultBuffer::new(config.fault_buffer.clone());
 
@@ -215,7 +281,7 @@ pub fn run_repeated(config: &SimConfig, workload: &Workload, launches: u32) -> V
         clock += cost.kernel_launch();
         let mut engine = GpuEngine::launch(
             config.gpu.clone(),
-            trace.clone(),
+            Arc::clone(&trace),
             root.derive(10 + launch as u64),
         );
         let mut passes = 0u64;

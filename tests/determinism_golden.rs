@@ -1,0 +1,91 @@
+//! Golden determinism tests: the simulation is a pure function of
+//! `(config, workload)` — repeated runs, prepared-trace reuse, sweep
+//! batching, and the rayon thread count must all produce bit-identical
+//! `SimReport`s. Guards the allocation-free fault pipeline and the
+//! parallel sweep engine against nondeterminism creeping in.
+
+use bench::experiments::Scale;
+use uvm_sim::{PrefetchPolicy, SimConfig, Workload, WorkloadKind};
+
+/// The two shapes the paper sweeps: a streaming regular kernel that fits
+/// in memory, and a random-access kernel oversubscribed past eviction.
+fn golden_points() -> Vec<(SimConfig, Workload)> {
+    let scale = Scale::QUICK;
+    let regular = (scale.config(), scale.workload(WorkloadKind::Regular, 0.5));
+    let mut oversub_cfg = scale.config();
+    oversub_cfg.driver.prefetch = PrefetchPolicy::Disabled;
+    let oversub = (oversub_cfg, scale.workload(WorkloadKind::Random, 1.3));
+    vec![regular, oversub]
+}
+
+/// Serialize a report to compare every field (SimReport has no PartialEq;
+/// JSON equality is exact for the integer counters and bit-exact for the
+/// f64 ratios since both sides run the same arithmetic).
+fn fingerprint(r: &uvm_sim::SimReport) -> String {
+    serde_json::to_string(r).expect("serialize report")
+}
+
+#[test]
+fn same_seed_same_report_twice() {
+    for (cfg, w) in golden_points() {
+        let a = fingerprint(&uvm_sim::run(&cfg, &w));
+        let b = fingerprint(&uvm_sim::run(&cfg, &w));
+        assert_eq!(a, b, "two runs of {} diverged", w.name());
+    }
+}
+
+#[test]
+fn prepared_run_matches_plain_run() {
+    for (cfg, w) in golden_points() {
+        let plain = fingerprint(&uvm_sim::run(&cfg, &w));
+        let prepared = uvm_sim::prepare(&cfg, &w);
+        let via_prepare = fingerprint(&uvm_sim::run_prepared(&cfg, &prepared));
+        // Reusing one prepared trace must also be stable.
+        let again = fingerprint(&uvm_sim::run_prepared(&cfg, &prepared));
+        assert_eq!(plain, via_prepare, "prepare() changed {} results", w.name());
+        assert_eq!(via_prepare, again, "prepared reuse diverged");
+    }
+}
+
+#[test]
+fn sweep_matches_sequential_runs_any_thread_count() {
+    let sequential: Vec<String> = golden_points()
+        .iter()
+        .map(|(cfg, w)| fingerprint(&uvm_sim::run(cfg, w)))
+        .collect();
+    for threads in [1, 4] {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build_global()
+            .expect("configure thread pool");
+        let swept: Vec<String> = uvm_sim::run_sweep(golden_points())
+            .iter()
+            .map(fingerprint)
+            .collect();
+        assert_eq!(
+            sequential, swept,
+            "run_sweep with {threads} thread(s) diverged from sequential runs"
+        );
+    }
+}
+
+#[test]
+fn sweep_trace_dedup_preserves_results() {
+    // Same (workload, seed) under different driver configs: the sweep
+    // generates the trace once and shares it — results must still match
+    // fully independent runs.
+    let scale = Scale::QUICK;
+    let w = scale.workload(WorkloadKind::Random, 1.3);
+    let mut no_prefetch = scale.config();
+    no_prefetch.driver.prefetch = PrefetchPolicy::Disabled;
+    let points = vec![
+        (scale.config(), w.clone()),
+        (no_prefetch.clone(), w.clone()),
+    ];
+    let swept: Vec<String> = uvm_sim::run_sweep(points).iter().map(fingerprint).collect();
+    let independent = vec![
+        fingerprint(&uvm_sim::run(&scale.config(), &w)),
+        fingerprint(&uvm_sim::run(&no_prefetch, &w)),
+    ];
+    assert_eq!(swept, independent);
+}

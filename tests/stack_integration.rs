@@ -356,6 +356,7 @@ fn managed_space_is_the_single_residency_oracle() {
         .block_mut(VaBlockIdx(0))
         .resident
         .set(range.page(17).offset_in_vablock());
+    space.sync_block_residency(VaBlockIdx(0));
     assert!(space.is_resident(range.page(17)));
     assert!(!space.is_resident(range.page(18)));
 }

@@ -1,0 +1,169 @@
+//! Vendored offline stand-in for `criterion`.
+//!
+//! Implements the benchmark-definition API this workspace uses
+//! (`benchmark_group` / `sample_size` / `bench_function` / `finish`,
+//! `criterion_group!`, `criterion_main!`) with a simple wall-clock
+//! measurement loop: each benchmark is warmed up, run in doubling batches
+//! until it accumulates enough time, and reported as ns/iter (median over
+//! `sample_size` samples). Statistical analysis, plotting and baselines
+//! are out of scope — the numbers are for relative, same-machine
+//! comparison.
+//!
+//! CLI: the first non-flag argument is a substring filter on
+//! `group/function` ids, matching `cargo bench -- <filter>` usage.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark registry/runner handed to `criterion_group!` functions.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { filter: None }
+    }
+}
+
+impl Criterion {
+    /// Build from CLI args (cargo passes `--bench` and the filter string).
+    pub fn from_args() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            filter: self.filter.clone(),
+            sample_size: 10,
+        }
+    }
+
+    /// Run one stand-alone benchmark (treated as group = function name).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut group = self.benchmark_group(id.clone());
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup {
+    name: String,
+    filter: Option<String>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Set how many timing samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be nonzero");
+        self.sample_size = n;
+        self
+    }
+
+    /// Define and (filter permitting) immediately run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let full = if self.name == id {
+            id.clone()
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        if let Some(filter) = &self.filter {
+            if !full.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher { ns_per_iter: 0.0 };
+            f(&mut b);
+            samples.push(b.ns_per_iter);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples[samples.len() / 2];
+        let min = samples[0];
+        let max = samples[samples.len() - 1];
+        println!("{full:<50} {} /iter  [{} .. {}]", fmt_ns(median), fmt_ns(min), fmt_ns(max));
+        self
+    }
+
+    /// Finish the group (reporting is immediate; nothing left to do).
+    pub fn finish(self) {}
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Timing handle passed to each benchmark closure.
+pub struct Bencher {
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Measure `f`, called in doubling batches until enough time has
+    /// accumulated for a stable per-iteration estimate.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(10) || iters >= 1 << 24 {
+                self.ns_per_iter = elapsed.as_nanos() as f64 / iters as f64;
+                return;
+            }
+            iters *= 2;
+        }
+    }
+}
+
+/// Bundle benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generate `main()` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $($group(&mut c);)+
+        }
+    };
+}

@@ -1,0 +1,193 @@
+//! Vendored offline stand-in for `rayon`.
+//!
+//! Supports the surface this workspace uses: `vec.into_par_iter().map(f)
+//! .collect()`, `ThreadPoolBuilder::num_threads(n).build_global()` and
+//! `current_num_threads()`. Work is distributed over scoped OS threads via
+//! an atomic work counter; results land in pre-allocated slots, so output
+//! order always matches input order regardless of thread count or
+//! scheduling — parallelism never changes results.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Configured global thread count; 0 = not configured (use hardware).
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of threads parallel iterators will use.
+pub fn current_num_threads() -> usize {
+    match GLOBAL_THREADS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        n => n,
+    }
+}
+
+/// Error type for [`ThreadPoolBuilder::build_global`] (never produced here).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Configures the global thread count.
+///
+/// Unlike real rayon, repeated `build_global` calls succeed and simply
+/// update the count — threads are spawned per parallel call, not pooled.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Start building.
+    pub fn new() -> Self {
+        ThreadPoolBuilder { num_threads: 0 }
+    }
+
+    /// Set the thread count (0 = hardware parallelism).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Install as the global configuration.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        GLOBAL_THREADS.store(self.num_threads, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// The traits users import.
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, ParallelIterator};
+}
+
+/// Parallel iterator machinery.
+pub mod iter {
+    use super::par_map_ordered;
+
+    /// Conversion into a parallel iterator.
+    pub trait IntoParallelIterator {
+        /// Element type.
+        type Item: Send;
+        /// Iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// Convert.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = VecParIter<T>;
+        fn into_par_iter(self) -> VecParIter<T> {
+            VecParIter { items: self }
+        }
+    }
+
+    /// A (possibly mapped) parallel pipeline over owned items.
+    pub trait ParallelIterator: Sized {
+        /// Element type produced by the pipeline.
+        type Item: Send;
+
+        /// Materialize all elements, in input order.
+        fn drive(self) -> Vec<Self::Item>;
+
+        /// Map each element through `f` in parallel.
+        fn map<U: Send, F>(self, f: F) -> Map<Self, F>
+        where
+            F: Fn(Self::Item) -> U + Sync,
+        {
+            Map { base: self, f }
+        }
+
+        /// Collect the results (order-preserving).
+        fn collect<C: FromIterator<Self::Item>>(self) -> C {
+            self.drive().into_iter().collect()
+        }
+    }
+
+    /// Source stage: an owned `Vec`.
+    pub struct VecParIter<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Send> ParallelIterator for VecParIter<T> {
+        type Item = T;
+        fn drive(self) -> Vec<T> {
+            self.items
+        }
+    }
+
+    /// Map stage.
+    pub struct Map<P, F> {
+        base: P,
+        f: F,
+    }
+
+    impl<P, U, F> ParallelIterator for Map<P, F>
+    where
+        P: ParallelIterator,
+        U: Send,
+        F: Fn(P::Item) -> U + Sync,
+    {
+        type Item = U;
+        fn drive(self) -> Vec<U> {
+            par_map_ordered(self.base.drive(), &self.f)
+        }
+    }
+}
+
+/// Ordered parallel map: output index i always holds `f(items[i])`.
+fn par_map_ordered<T: Send, U: Send, F: Fn(T) -> U + Sync>(items: Vec<T>, f: &F) -> Vec<U> {
+    let n = items.len();
+    let threads = current_num_threads().min(n).max(1);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let inputs: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let slots: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = inputs[i].lock().unwrap().take().expect("item taken once");
+                let out = f(item);
+                *slots[i].lock().unwrap() = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = v.into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn build_global_is_repeatable() {
+        ThreadPoolBuilder::new().num_threads(2).build_global().unwrap();
+        assert_eq!(current_num_threads(), 2);
+        ThreadPoolBuilder::new().num_threads(3).build_global().unwrap();
+        assert_eq!(current_num_threads(), 3);
+        ThreadPoolBuilder::new().num_threads(0).build_global().unwrap();
+    }
+}
