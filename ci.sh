@@ -14,4 +14,13 @@ cargo test -q --workspace
 echo "== repro all --scale 128 (quick-scale end-to-end) =="
 ./target/release/repro all --scale 128 --json --out ci-out
 
+echo "== repro fig1 --scale 16 --trace-out (traced run + schema gate) =="
+t0=$(date +%s.%N)
+./target/release/repro fig1 --scale 16 --no-progress --trace-cap 8192 \
+    --trace-out ci-out/trace.json
+t1=$(date +%s.%N)
+./target/release/repro check-trace ci-out/trace.json
+./target/release/repro bench-append ci-out/BENCH_hotpaths.json \
+    fig1_scale16_traced "$(echo "$t1 $t0" | awk '{printf "%.3f", $1 - $2}')"
+
 echo "== ci.sh: all green =="

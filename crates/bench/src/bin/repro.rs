@@ -2,14 +2,34 @@
 //!
 //! ```text
 //! repro <experiment> [--scale <denominator>] [--out <dir>] [--json] [--threads <n>]
+//!                    [--trace-out <file>] [--trace-cap <events>]
+//!                    [--progress|--no-progress]
 //! repro all
 //! repro list
+//! repro check-trace <file>
+//! repro bench-append <file> <name> <wall_seconds>
 //! ```
 //!
 //! `--json` additionally writes each experiment's table as
 //! `<out>/<experiment>.json` for downstream tooling, plus a
 //! `<out>/BENCH_hotpaths.json` wall-time/throughput report (simulated
 //! faults/sec and warp-steps/sec per experiment).
+//!
+//! `--trace-out trace.json` records batch-lifecycle spans and per-page
+//! fault events during every sweep and writes a combined
+//! Chrome-trace/Perfetto JSON file — load it at <https://ui.perfetto.dev>
+//! or `chrome://tracing`. A flamegraph-style per-phase summary is printed
+//! after the runs. `--trace-cap` bounds the per-run span buffer (default
+//! 65536 events; dropped events are counted, and dropped leaf *time*
+//! stays accounted per category). `repro check-trace <file>` re-validates
+//! an exported file against the trace-event-format invariants and the
+//! span-vs-timers reconciliation; `repro bench-append` appends one
+//! `{name, wall_seconds}` entry to the `ci_trend` array of a
+//! BENCH_hotpaths-style JSON file (the CI perf trend).
+//!
+//! A live progress line (points done, faults/sec, ETA) is written to
+//! stderr while sweeps run — on by default when stderr is a terminal;
+//! force with `--progress` / `--no-progress`.
 //!
 //! Experiments: fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 table1
 //! table2, the §VI ablations (ablation_replay ablation_threshold
@@ -22,8 +42,9 @@
 //! (default `./repro-out`). `--threads N` sizes the rayon pool running
 //! the sweeps; results are deterministic and identical for every N.
 
-use bench::experiments::{ablations, extras, figures, tables, Artifact, Scale};
-use serde::Serialize;
+use bench::experiments::{ablations, extras, figures, obs, tables, Artifact, Scale};
+use metrics::chrome;
+use serde::{Serialize, Value};
 use std::io::Write;
 use std::path::PathBuf;
 use std::time::Instant;
@@ -65,13 +86,91 @@ const EXPERIMENTS: &[Experiment] = &[
 fn usage() -> ! {
     eprintln!(
         "usage: repro <experiment|all|list> [--scale <denominator>] [--out <dir>] \
-         [--json] [--threads <n>]"
+         [--json] [--threads <n>] [--trace-out <file>] [--trace-cap <events>] \
+         [--progress|--no-progress]\n\
+         \x20      repro check-trace <file>\n\
+         \x20      repro bench-append <file> <name> <wall_seconds>"
     );
     eprintln!("experiments:");
     for (name, _) in EXPERIMENTS {
         eprintln!("  {name}");
     }
     std::process::exit(2);
+}
+
+/// `repro check-trace <file>`: parse an exported Chrome-trace file and
+/// re-check every invariant the exporter promises (see
+/// [`metrics::chrome::validate`]). Exits nonzero on any violation.
+fn cmd_check_trace(path: &str) -> ! {
+    let body = match std::fs::read_to_string(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match chrome::validate(&body) {
+        Ok(stats) => {
+            out(&format!(
+                "{path}: OK — {} process(es), {} events ({} leaf spans, {} containers, \
+                 {} instants), {} dropped",
+                stats.processes,
+                stats.events,
+                stats.leaf_spans,
+                stats.container_spans,
+                stats.instants,
+                stats.dropped,
+            ));
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `repro bench-append <file> <name> <wall_seconds>`: append one
+/// `{name, wall_seconds}` entry to the file's `ci_trend` array (created
+/// if absent), preserving every other key. CI uses this to keep a
+/// wall-time trend in `BENCH_hotpaths.json`.
+fn cmd_bench_append(path: &str, name: &str, wall_seconds: f64) -> ! {
+    let body = match std::fs::read_to_string(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut root: Value = match serde_json::from_str(&body) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: parse {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let entry = Value::Map(vec![
+        ("name".to_string(), Value::Str(name.to_string())),
+        ("wall_seconds".to_string(), Value::F64(wall_seconds)),
+    ]);
+    let Value::Map(keys) = &mut root else {
+        eprintln!("error: {path}: top level is not a JSON object");
+        std::process::exit(1);
+    };
+    match keys.iter_mut().find(|(k, _)| k == "ci_trend") {
+        Some((_, Value::Seq(trend))) => trend.push(entry),
+        Some((_, other)) => {
+            *other = Value::Seq(vec![entry]);
+        }
+        None => keys.push(("ci_trend".to_string(), Value::Seq(vec![entry]))),
+    }
+    let rendered = serde_json::to_string_pretty(&root).expect("re-serialize trend file");
+    if let Err(e) = std::fs::write(path, rendered) {
+        eprintln!("error: write {path}: {e}");
+        std::process::exit(1);
+    }
+    out(&format!("{path}: ci_trend += {{{name}, {wall_seconds:.3}s}}"));
+    std::process::exit(0);
 }
 
 /// One experiment's row in the `BENCH_hotpaths.json` throughput report.
@@ -101,15 +200,44 @@ fn main() {
     if args.is_empty() {
         usage();
     }
+    match args[0].as_str() {
+        "check-trace" => cmd_check_trace(args.get(1).map(String::as_str).unwrap_or_else(|| usage())),
+        "bench-append" => {
+            let file = args.get(1).unwrap_or_else(|| usage());
+            let name = args.get(2).unwrap_or_else(|| usage());
+            let wall: f64 = args
+                .get(3)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| usage());
+            cmd_bench_append(file, name, wall);
+        }
+        _ => {}
+    }
     let mut which = String::new();
     let mut scale_den = 16.0f64;
     let mut out_dir = PathBuf::from("repro-out");
     let mut json = false;
     let mut threads: Option<usize> = None;
+    let mut trace_out: Option<PathBuf> = None;
+    let mut trace_cap = metrics::DEFAULT_SPAN_CAPACITY;
+    let mut progress: Option<bool> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--json" => json = true,
+            "--trace-out" => {
+                i += 1;
+                trace_out = Some(PathBuf::from(args.get(i).unwrap_or_else(|| usage())));
+            }
+            "--trace-cap" => {
+                i += 1;
+                trace_cap = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--progress" => progress = Some(true),
+            "--no-progress" => progress = Some(false),
             "--scale" => {
                 i += 1;
                 scale_den = args
@@ -144,6 +272,10 @@ fn main() {
             .build_global()
             .expect("configure global thread pool");
     }
+    if trace_out.is_some() {
+        obs::enable_tracing(trace_cap);
+    }
+    obs::set_progress(progress.unwrap_or_else(obs::progress_default));
     if which == "list" {
         for (name, _) in EXPERIMENTS {
             out(name);
@@ -206,6 +338,43 @@ fn main() {
             out(&format!("  wrote {}", path.display()));
         }
         out(&format!("  [{name} regenerated in {wall:.1}s]\n"));
+    }
+    if let Some(trace_path) = &trace_out {
+        let points = obs::take_points();
+        // Flamegraph-style rollup across every traced run: merge the
+        // per-point span traces, then rank phases by total sim-time.
+        let mut agg = metrics::SpanTrace::default();
+        let mut fault_events = 0u64;
+        let mut fault_drops = 0u64;
+        for p in &points {
+            agg.events.extend_from_slice(&p.spans.events);
+            agg.dropped += p.spans.dropped;
+            agg.dropped_time = agg.dropped_time + p.spans.dropped_time;
+            fault_events += p.faults.len() as u64;
+            fault_drops += p.fault_drops;
+        }
+        out(&format!(
+            "# trace: {} run(s), {} span events, {} fault events{}",
+            points.len(),
+            agg.events.len(),
+            fault_events,
+            if fault_drops > 0 {
+                format!(" ({fault_drops} fault events dropped at capacity)")
+            } else {
+                String::new()
+            }
+        ));
+        out(&chrome::flame_text(&agg));
+        let body = chrome::render(&points);
+        if let Some(dir) = trace_path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir).expect("create trace output dir");
+        }
+        std::fs::write(trace_path, &body).expect("write trace");
+        out(&format!(
+            "  wrote {} ({} KiB) — open in https://ui.perfetto.dev or chrome://tracing",
+            trace_path.display(),
+            body.len() / 1024,
+        ));
     }
     if json {
         let report = PerfReport {

@@ -109,8 +109,8 @@ pub fn extra_batch_composition(scale: Scale) -> Artifact {
         WorkloadKind::Sgemm,
         WorkloadKind::Tealeaf,
     ];
-    // Histograms live on the driver, which `run` consumes; re-derive the
-    // mean from counters instead, and sweep in parallel.
+    // Means are re-derived from counters; the tail columns come from the
+    // per-batch histograms the report now carries.
     let points = kinds
         .iter()
         .map(|&k| {
@@ -128,6 +128,10 @@ pub fn extra_batch_composition(scale: Scale) -> Artifact {
             "faults",
             "vablocks_per_batch",
             "faults_per_vablock",
+            "faults/batch p50",
+            "faults/batch p95",
+            "faults/batch p99",
+            "vablocks/batch p95",
         ],
     );
     for (k, r) in kinds.iter().zip(&reports) {
@@ -140,6 +144,10 @@ pub fn extra_batch_composition(scale: Scale) -> Artifact {
             format!("{}", r.total_faults()),
             f(vb_per_batch, 2),
             f(faults_per_vb, 2),
+            format!("{}", r.faults_per_batch.p50()),
+            format!("{}", r.faults_per_batch.p95()),
+            format!("{}", r.faults_per_batch.p99()),
+            format!("{}", r.vablocks_per_batch.p95()),
         ]);
     }
     Artifact::table(table)

@@ -4,6 +4,7 @@
 pub mod ablations;
 pub mod extras;
 pub mod figures;
+pub mod obs;
 pub mod tables;
 
 use metrics::report::Table;
@@ -91,10 +92,18 @@ pub fn take_sim_totals() -> (u64, u64) {
 }
 
 /// Run a set of (config, workload) points in parallel, preserving order.
-/// Thin re-export of [`uvm_sim::run_sweep`], which also dedupes trace
-/// generation across points sharing a `(workload, seed)` pair.
-pub fn run_sweep(points: Vec<(SimConfig, Workload)>) -> Vec<SimReport> {
-    let reports = uvm_sim::run_sweep(points);
+/// Wraps [`uvm_sim::run_sweep_with`] (which dedupes trace generation
+/// across points sharing a `(workload, seed)` pair) with the harness's
+/// observability: when `repro` armed tracing, span/fault capture is
+/// switched on per point and the finished reports are folded into the
+/// Chrome-trace collection; when progress is armed, point completions
+/// drive the live stderr telemetry line.
+pub fn run_sweep(mut points: Vec<(SimConfig, Workload)>) -> Vec<SimReport> {
+    obs::instrument_points(&mut points);
+    obs::sweep_begin(points.len());
+    let reports = uvm_sim::run_sweep_with(points, |_, r| obs::on_point_done(r));
+    obs::sweep_end();
+    obs::collect_reports(&reports);
     let faults: u64 = reports.iter().map(|r| r.total_faults()).sum();
     let steps: u64 = reports.iter().map(|r| r.engine.steps_completed).sum();
     SWEEP_FAULTS.fetch_add(faults, Ordering::Relaxed);

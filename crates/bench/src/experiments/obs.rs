@@ -1,0 +1,215 @@
+//! Run observability for the `repro` harness: trace collection across
+//! sweeps and live progress telemetry on stderr.
+//!
+//! The experiment functions call [`run_sweep`](super::run_sweep) and know
+//! nothing about tracing; this module carries the `--trace-out` /
+//! `--progress` CLI state as process-global configuration. When tracing
+//! is armed, every sweep point's driver config gets span recording (and
+//! the per-fault trace) switched on, and each finished report is folded
+//! into a [`ChromePoint`] — in report order, so the collected trace is
+//! independent of the rayon thread count. When progress is armed, point
+//! completions print a throttled `\r`-overwritten stderr line with
+//! faults/sec and an ETA, which is what makes the nightly full-scale
+//! (12 GB) run operable.
+
+use metrics::ChromePoint;
+use std::io::{IsTerminal, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+use uvm_sim::{SimConfig, SimReport, Workload};
+
+static TRACE_ENABLED: AtomicBool = AtomicBool::new(false);
+static SPAN_CAPACITY: AtomicUsize = AtomicUsize::new(metrics::DEFAULT_SPAN_CAPACITY);
+static PROGRESS: AtomicBool = AtomicBool::new(false);
+
+static POINTS: Mutex<Vec<ChromePoint>> = Mutex::new(Vec::new());
+
+/// Per-sweep progress counters (reset by [`sweep_begin`]).
+static DONE: AtomicU64 = AtomicU64::new(0);
+static TOTAL: AtomicU64 = AtomicU64::new(0);
+static FAULTS: AtomicU64 = AtomicU64::new(0);
+/// Milliseconds-since-sweep-start of the last emitted progress line
+/// (throttle state; u64::MAX = nothing emitted yet).
+static LAST_EMIT_MS: AtomicU64 = AtomicU64::new(u64::MAX);
+static SWEEP_START: Mutex<Option<Instant>> = Mutex::new(None);
+
+/// Minimum milliseconds between progress lines.
+const EMIT_EVERY_MS: u64 = 500;
+
+/// Per-point cap on captured fault instants in traced runs. The
+/// per-fault recorder defaults to millions of events (sized for CSV
+/// scatter export); a viewer-bound trace only needs the leading sample —
+/// drops are counted and reported in the `uvmSim` metadata. At ~130
+/// bytes/instant this keeps a 28-point fig1 trace in the low hundreds
+/// of MB instead of ~1 GB.
+const FAULT_EVENT_CAPACITY: usize = 1 << 14;
+
+/// Arm span/fault-trace capture for every subsequent sweep, with the
+/// given per-run span buffer capacity.
+pub fn enable_tracing(span_capacity: usize) {
+    SPAN_CAPACITY.store(span_capacity.max(1), Ordering::Relaxed);
+    TRACE_ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// True if sweeps are currently collecting traces.
+pub fn tracing_enabled() -> bool {
+    TRACE_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Arm or disarm the live stderr progress line. The `repro` default is
+/// on when stderr is a terminal, off when redirected.
+pub fn set_progress(on: bool) {
+    PROGRESS.store(on, Ordering::Relaxed);
+}
+
+/// Default progress choice absent an explicit flag.
+pub fn progress_default() -> bool {
+    std::io::stderr().is_terminal()
+}
+
+/// Drain every [`ChromePoint`] collected since the last call, in the
+/// order the sweeps' reports were returned (deterministic).
+pub fn take_points() -> Vec<ChromePoint> {
+    std::mem::take(&mut *POINTS.lock().unwrap())
+}
+
+/// When tracing is armed, rewrite the sweep's driver configs to record
+/// spans and the per-fault trace.
+pub fn instrument_points(points: &mut [(SimConfig, Workload)]) {
+    if !tracing_enabled() {
+        return;
+    }
+    let cap = SPAN_CAPACITY.load(Ordering::Relaxed);
+    for (config, _) in points.iter_mut() {
+        config.driver.record_spans = true;
+        config.driver.span_capacity = cap;
+        config.driver.capture_trace = true;
+        config.driver.trace_capacity = FAULT_EVENT_CAPACITY;
+    }
+}
+
+/// Reset the progress counters for a sweep of `n` points.
+pub fn sweep_begin(n: usize) {
+    DONE.store(0, Ordering::Relaxed);
+    TOTAL.store(n as u64, Ordering::Relaxed);
+    FAULTS.store(0, Ordering::Relaxed);
+    LAST_EMIT_MS.store(u64::MAX, Ordering::Relaxed);
+    *SWEEP_START.lock().unwrap() = Some(Instant::now());
+}
+
+/// Note one finished point (called from sweep worker threads; thread-safe
+/// and ordering-independent). Emits a throttled progress line when armed.
+pub fn on_point_done(report: &SimReport) {
+    let done = DONE.fetch_add(1, Ordering::Relaxed) + 1;
+    let faults = FAULTS.fetch_add(report.total_faults(), Ordering::Relaxed)
+        + report.total_faults();
+    if !PROGRESS.load(Ordering::Relaxed) {
+        return;
+    }
+    let total = TOTAL.load(Ordering::Relaxed);
+    let elapsed = match *SWEEP_START.lock().unwrap() {
+        Some(t0) => t0.elapsed(),
+        None => return,
+    };
+    let now_ms = elapsed.as_millis() as u64;
+    let last = LAST_EMIT_MS.load(Ordering::Relaxed);
+    let due = last == u64::MAX || now_ms.saturating_sub(last) >= EMIT_EVERY_MS;
+    if !(due || done == total)
+        || LAST_EMIT_MS
+            .compare_exchange(last, now_ms, Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+    {
+        return; // not due yet, or another thread just emitted
+    }
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    let rate = faults as f64 / secs;
+    let eta = if done > 0 {
+        secs / done as f64 * (total.saturating_sub(done)) as f64
+    } else {
+        0.0
+    };
+    let mut err = std::io::stderr().lock();
+    let _ = write!(
+        err,
+        "\r  {done}/{total} points  {:.2}M sim faults  {:.0}k faults/s  ETA {:.0}s   ",
+        faults as f64 / 1e6,
+        rate / 1e3,
+        eta
+    );
+    let _ = err.flush();
+}
+
+/// Finish a sweep's progress line (newline-terminate the `\r` overwrite).
+pub fn sweep_end() {
+    if PROGRESS.load(Ordering::Relaxed) && LAST_EMIT_MS.load(Ordering::Relaxed) != u64::MAX {
+        let mut err = std::io::stderr().lock();
+        let _ = writeln!(err);
+        let _ = err.flush();
+    }
+}
+
+/// When tracing is armed, fold the sweep's finished reports (in report
+/// order) into the collected Chrome-trace points.
+pub fn collect_reports(reports: &[SimReport]) {
+    if !tracing_enabled() {
+        return;
+    }
+    let mut points = POINTS.lock().unwrap();
+    for r in reports {
+        let n = points.len();
+        points.push(ChromePoint {
+            label: format!("[{n}] {} r={:.2}", r.workload, r.subscription_ratio),
+            spans: r.span_trace.clone(),
+            faults: r.trace.clone(),
+            fault_drops: r.trace_dropped,
+            timers: r.timers,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::Scale;
+    use uvm_sim::WorkloadKind;
+
+    /// Tracing state is process-global, so exercise the whole arm →
+    /// instrument → collect → drain path in one test.
+    #[test]
+    fn armed_tracing_instruments_and_collects() {
+        let s = Scale::QUICK;
+        let mut points = vec![(s.config(), s.workload(WorkloadKind::Regular, 0.05))];
+        assert!(!points[0].0.driver.record_spans);
+        enable_tracing(1 << 14);
+        instrument_points(&mut points);
+        assert!(points[0].0.driver.record_spans);
+        assert!(points[0].0.driver.capture_trace);
+        assert_eq!(points[0].0.driver.span_capacity, 1 << 14);
+
+        let reports = uvm_sim::run_sweep(points);
+        collect_reports(&reports);
+        TRACE_ENABLED.store(false, Ordering::Relaxed);
+        // Other tests' sweeps may have been collected while tracing was
+        // armed (the state is process-global); every point must reconcile.
+        let collected = take_points();
+        assert!(!collected.is_empty());
+        for p in &collected {
+            assert_eq!(
+                p.spans.reconciled_totals(),
+                p.timers,
+                "collected spans reconcile with the report timers ({})",
+                p.label
+            );
+        }
+        assert!(collected.iter().any(|p| !p.spans.events.is_empty()));
+    }
+
+    #[test]
+    fn progress_counters_track_points() {
+        sweep_begin(3);
+        assert_eq!(TOTAL.load(Ordering::Relaxed), 3);
+        assert_eq!(DONE.load(Ordering::Relaxed), 0);
+        sweep_end();
+    }
+}

@@ -87,6 +87,48 @@ impl Histogram {
         self.counts[bucket_of(v)]
     }
 
+    /// The `q`-quantile (`0.0 < q <= 1.0`) as the inclusive upper bound
+    /// of the bucket where the cumulative count first reaches
+    /// `ceil(q * total)`. Exact for the width-1 buckets (0, 1, 2); an
+    /// upper bound (within 2× of the true value) for wider buckets.
+    /// Returns 0 for an empty histogram.
+    pub fn percentile(&self, q: f64) -> u64 {
+        debug_assert!(q > 0.0 && q <= 1.0, "quantile out of range");
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // The top bucket is open-ended — report the observed max;
+                // elsewhere the observed max tightens the bucket bound.
+                return if b == BUCKETS - 1 {
+                    self.max
+                } else {
+                    bucket_hi(b).min(self.max)
+                };
+            }
+        }
+        self.max
+    }
+
+    /// Median (p50) observation bucket bound.
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// 95th-percentile observation bucket bound.
+    pub fn p95(&self) -> u64 {
+        self.percentile(0.95)
+    }
+
+    /// 99th-percentile observation bucket bound.
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+
     /// Iterate `(bucket_upper_bound, count)` over non-empty buckets.
     pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
         self.counts
@@ -186,5 +228,45 @@ mod tests {
         assert_eq!(h.total(), 0);
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.buckets().count(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+    }
+
+    #[test]
+    fn percentiles_exact_in_unit_buckets() {
+        let mut h = Histogram::default();
+        for _ in 0..90 {
+            h.record(1);
+        }
+        for _ in 0..10 {
+            h.record(2);
+        }
+        assert_eq!(h.p50(), 1);
+        assert_eq!(h.percentile(0.90), 1);
+        assert_eq!(h.p95(), 2);
+        assert_eq!(h.p99(), 2);
+        assert_eq!(h.percentile(1.0), 2);
+    }
+
+    #[test]
+    fn percentiles_report_bucket_upper_bound() {
+        let mut h = Histogram::default();
+        for _ in 0..99 {
+            h.record(3); // bucket (2,4]
+        }
+        h.record(200); // bucket (128,256]
+        assert_eq!(h.p50(), 4);
+        assert_eq!(h.p95(), 4);
+        // Rank 100 lands in the (128,256] bucket, capped at the max seen.
+        assert_eq!(h.percentile(0.999), 200);
+        assert_eq!(h.p99(), 4);
+    }
+
+    #[test]
+    fn percentile_top_bucket_caps_at_max() {
+        let mut h = Histogram::default();
+        h.record(1_000_000); // beyond the last finite bucket boundary
+        assert_eq!(h.p50(), 1_000_000);
+        assert_eq!(h.p99(), 1_000_000);
     }
 }

@@ -14,18 +14,29 @@
 //! * [`trace`] — optional capture of per-fault records (page, virtual
 //!   time, order) and eviction records, powering the access-pattern
 //!   scatter figures (Fig. 7 and Fig. 8).
+//! * [`span`] — span-level batch-lifecycle tracing: begin/end/leaf/instant
+//!   events per driver pass, bounded recorder, flame-style summaries.
+//! * [`chrome`] — Chrome-trace/Perfetto JSON export of span traces plus a
+//!   validator for the trace-event-format invariants.
 //! * [`report`] — plain-text table and CSV rendering for the `repro`
 //!   binary that regenerates the paper's tables and figures.
 
 #![warn(missing_docs)]
 
+pub mod chrome;
 pub mod counters;
 pub mod histogram;
 pub mod report;
+pub mod span;
 pub mod timers;
 pub mod trace;
 
+pub use chrome::{ChromePoint, TraceStats};
 pub use counters::Counters;
 pub use histogram::Histogram;
+pub use span::{
+    flame_summary, FlameRow, SpanCat, SpanEvent, SpanKind, SpanPhase, SpanRecorder, SpanTrace,
+    DEFAULT_SPAN_CAPACITY,
+};
 pub use timers::{Category, Timers};
 pub use trace::{EventKind, TraceEvent, TraceRecorder};

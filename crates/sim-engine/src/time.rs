@@ -39,6 +39,14 @@ impl SimTime {
         self.0
     }
 
+    /// Timestamp as fractional microseconds since simulation start — the
+    /// unit the Chrome-trace/Perfetto `ts` field uses. Exact for any
+    /// simulated timeline shorter than ~104 days (2^53 ns).
+    #[inline]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
     /// Time elapsed since `earlier`. Returns `SimDuration::ZERO` if
     /// `earlier` is in the future (saturating).
     #[inline]
@@ -233,6 +241,8 @@ mod tests {
         let t = SimTime::ZERO + SimDuration::from_micros(40);
         assert_eq!(t.as_nanos(), 40_000);
         assert_eq!(t - SimTime::ZERO, SimDuration::from_micros(40));
+        assert_eq!(t.as_micros_f64(), 40.0);
+        assert_eq!(SimTime::from_nanos(1_500).as_micros_f64(), 1.5);
     }
 
     #[test]

@@ -13,7 +13,11 @@ use crate::prefetch::{compute_prefetch, PrefetchPolicy, ResolvedPrefetch};
 use crate::thrash::{ThrashConfig, ThrashDetector};
 use gpu_model::dma::TransferLog;
 use gpu_model::{AccessNotification, FaultBuffer, GlobalPage, PageMask, VaBlockIdx};
-use metrics::{Category, Counters, EventKind, Histogram, Timers, TraceRecorder};
+use metrics::trace::DEFAULT_TRACE_CAPACITY;
+use metrics::{
+    Category, Counters, EventKind, Histogram, SpanCat, SpanKind, SpanRecorder, Timers,
+    TraceRecorder, DEFAULT_SPAN_CAPACITY,
+};
 use serde::{Deserialize, Serialize};
 use sim_engine::units::{GIB, PAGES_PER_VABLOCK, PAGE_SIZE};
 use sim_engine::{CostModel, SimDuration, SimRng, SimTime};
@@ -37,6 +41,15 @@ pub struct DriverConfig {
     pub alloc_granularity_pages: usize,
     /// Capture per-fault trace events (Fig. 7 / Fig. 8 data).
     pub capture_trace: bool,
+    /// Capacity of the per-fault trace buffer (events beyond it are
+    /// counted and dropped).
+    pub trace_capacity: usize,
+    /// Record batch-lifecycle spans (Chrome-trace export). Off by
+    /// default: the recorder is then a no-op enum branch on hot paths.
+    pub record_spans: bool,
+    /// Capacity of the span buffer (events beyond it are counted and
+    /// dropped, with dropped leaf *time* still accounted per category).
+    pub span_capacity: usize,
     /// Thrashing detection + pinning (off = stock behaviour).
     pub thrash: ThrashConfig,
 }
@@ -51,6 +64,9 @@ impl Default for DriverConfig {
             gpu_memory_bytes: 12 * GIB,
             alloc_granularity_pages: PAGES_PER_VABLOCK,
             capture_trace: false,
+            trace_capacity: DEFAULT_TRACE_CAPACITY,
+            record_spans: false,
+            span_capacity: DEFAULT_SPAN_CAPACITY,
             thrash: ThrashConfig::default(),
         }
     }
@@ -83,6 +99,7 @@ pub struct UvmDriver {
     timers: Timers,
     counters: Counters,
     trace: TraceRecorder,
+    spans: SpanRecorder,
     xfer: TransferLog,
     first_touch_done: bool,
     thrash: ThrashDetector,
@@ -117,9 +134,14 @@ impl UvmDriver {
         let subscription = (space.total_pages() * PAGE_SIZE) as f64 / cfg.gpu_memory_bytes as f64;
         let resolved_prefetch = cfg.prefetch.resolve(subscription);
         let trace = if cfg.capture_trace {
-            TraceRecorder::enabled()
+            TraceRecorder::with_capacity(cfg.trace_capacity)
         } else {
             TraceRecorder::disabled()
+        };
+        let spans = if cfg.record_spans {
+            SpanRecorder::bounded(cfg.span_capacity)
+        } else {
+            SpanRecorder::disabled()
         };
         UvmDriver {
             resolved_prefetch,
@@ -132,6 +154,7 @@ impl UvmDriver {
             timers: Timers::default(),
             counters: Counters::default(),
             trace,
+            spans,
             xfer: TransferLog::default(),
             first_touch_done: false,
             faults_per_batch: Histogram::default(),
@@ -147,30 +170,53 @@ impl UvmDriver {
         &self.space
     }
 
+    /// Charge `d` to `cat` and, when span recording is on, record the
+    /// matching leaf span starting at `start`. Every driver time charge
+    /// goes through here (or an inline equivalent), which is what makes
+    /// captured span durations reconcile exactly with [`Timers`].
+    #[inline]
+    fn charge_span(
+        &mut self,
+        cat: Category,
+        kind: SpanKind,
+        start: SimTime,
+        d: SimDuration,
+        a: u64,
+        b: u64,
+    ) -> SimDuration {
+        self.timers.charge(cat, d);
+        if !d.is_zero() {
+            self.spans.leaf_args(kind, cat, start, d, a, b);
+        }
+        d
+    }
+
     /// Process one batch of faults: fetch, pre-process, service every
     /// VABlock group (allocating, prefetching, migrating, mapping, and
     /// evicting as needed), then apply the replay policy.
     pub fn process_pass(&mut self, buffer: &mut FaultBuffer, now: SimTime) -> PassResult {
         let mut t = SimDuration::ZERO;
-        let charge = |timers: &mut Timers, cat: Category, d: SimDuration, t: &mut SimDuration| {
-            timers.charge(cat, d);
-            *t += d;
-        };
+        self.spans
+            .begin(SpanKind::Pass, SpanCat::Batch, now, self.counters.batches, 0);
 
         if !self.first_touch_done {
             self.first_touch_done = true;
-            charge(
-                &mut self.timers,
+            t += self.charge_span(
                 Category::Preprocess,
+                SpanKind::FirstTouch,
+                now + t,
                 self.cost.uvm_first_touch(),
-                &mut t,
+                0,
+                0,
             );
         }
-        charge(
-            &mut self.timers,
+        t += self.charge_span(
             Category::Preprocess,
+            SpanKind::InterruptWake,
+            now + t,
             self.cost.interrupt_wake(),
-            &mut t,
+            0,
+            0,
         );
 
         // Entries are read after the wakeup (and any first-touch) work, so
@@ -188,10 +234,21 @@ impl UvmDriver {
             pre += self.cost.batch_sort();
             self.counters.batches += 1;
         }
-        charge(&mut self.timers, Category::Preprocess, pre, &mut t);
+        t += self.charge_span(
+            Category::Preprocess,
+            SpanKind::FetchSort,
+            now + t,
+            pre,
+            batch.fetched,
+            batch.groups.len() as u64,
+        );
         self.counters.faults_fetched += batch.fetched;
         self.counters.duplicate_faults += batch.duplicates;
         self.counters.polls += batch.polls;
+        if batch.duplicates > 0 {
+            self.spans
+                .instant(SpanKind::DuplicatesFiltered, now + t, batch.duplicates, 0);
+        }
         if batch.fetched > 0 {
             self.faults_per_batch.record(batch.fetched);
             self.vablocks_per_batch.record(batch.groups.len() as u64);
@@ -220,24 +277,33 @@ impl UvmDriver {
         if self.cfg.replay_policy.flushes() && replays > 0 {
             let discarded = buffer.flush();
             if discarded > 0 || matches!(self.cfg.replay_policy, ReplayPolicy::BatchFlush) {
-                charge(
-                    &mut self.timers,
+                t += self.charge_span(
                     Category::ReplayPolicy,
+                    SpanKind::BufferFlush,
+                    now + t,
                     self.cost.buffer_flush(),
-                    &mut t,
+                    discarded as u64,
+                    0,
                 );
                 self.counters.buffer_flushes += 1;
             }
         }
-        charge(
-            &mut self.timers,
+        t += self.charge_span(
             Category::ReplayPolicy,
+            SpanKind::ReplayIssue,
+            now + t,
             self.cost.replay_issue() * replays,
-            &mut t,
+            replays,
+            0,
         );
         self.counters.replays += replays;
+        if replays > 0 {
+            self.spans.instant(SpanKind::Replay, now + t, replays, 0);
+        }
 
         let fetched = batch.fetched;
+        self.spans
+            .end(SpanKind::Pass, SpanCat::Batch, now + t, fetched, replays);
         self.arena = arena;
         PassResult {
             time: t,
@@ -253,11 +319,23 @@ impl UvmDriver {
     fn service_group(&mut self, group: &FaultGroup, now: SimTime) -> (SimDuration, u64) {
         let mut t = SimDuration::ZERO;
         let vb = group.block;
+        self.spans.begin(
+            SpanKind::VablockService,
+            SpanCat::Vablock,
+            now,
+            vb.0,
+            group.fault_mask.count() as u64,
+        );
 
         // Per-VABlock bookkeeping (part of the service path).
-        self.timers
-            .charge(Category::ServiceMap, self.cost.vablock_setup());
-        t += self.cost.vablock_setup();
+        t += self.charge_span(
+            Category::ServiceMap,
+            SpanKind::VablockSetup,
+            now + t,
+            self.cost.vablock_setup(),
+            vb.0,
+            0,
+        );
 
         let (valid, resident) = {
             let st = self.space.block(vb);
@@ -265,12 +343,15 @@ impl UvmDriver {
         };
         let faulted = group.fault_mask.intersect(&valid).difference(&resident);
         if faulted.is_empty() {
+            self.spans
+                .end(SpanKind::VablockService, SpanCat::Vablock, now + t, vb.0, 0);
             return (t, 0);
         }
         // A fault on a block that has been evicted before is a refault:
         // feed the thrashing detector, which may pin the block.
         if self.space.block(vb).eviction_count > 0 && self.thrash.note_refault(vb) {
             self.counters.thrash_pins += 1;
+            self.spans.instant(SpanKind::ThrashPin, now + t, vb.0, 0);
         }
 
         let prefetch_mask = compute_prefetch(self.resolved_prefetch, &resident, &faulted, &valid);
@@ -288,8 +369,14 @@ impl UvmDriver {
             loop {
                 match self.pma.alloc(bytes, &self.cost, &mut self.rng) {
                     Ok(grant) => {
-                        self.timers.charge(Category::ServicePma, grant.cost);
-                        t += grant.cost;
+                        t += self.charge_span(
+                            Category::ServicePma,
+                            SpanKind::PmaAlloc,
+                            now + t,
+                            grant.cost,
+                            vb.0,
+                            grant.calls,
+                        );
                         self.counters.pma_calls += grant.calls;
                         break;
                     }
@@ -301,22 +388,40 @@ impl UvmDriver {
             self.space.block_mut(vb).backed.set_range(unit_start, g);
             // Newly allocated memory is zeroed before use.
             let zero = self.cost.page_zero(g as u64);
-            self.timers.charge(Category::ServiceMigrate, zero);
-            t += zero;
+            t += self.charge_span(
+                Category::ServiceMigrate,
+                SpanKind::PageZero,
+                now + t,
+                zero,
+                vb.0,
+                g as u64,
+            );
             self.counters.pages_zeroed += g as u64;
         }
 
         // Migration: host staging + one coalesced DMA per VABlock/batch.
         let n = to_migrate.count() as u64;
         let mig = self.cost.migrate_h2d(n);
-        self.timers.charge(Category::ServiceMigrate, mig);
-        t += mig;
+        t += self.charge_span(
+            Category::ServiceMigrate,
+            SpanKind::MigrateH2d,
+            now + t,
+            mig,
+            vb.0,
+            n,
+        );
         self.xfer.record_h2d(n * PAGE_SIZE);
 
         // Mapping + membar, plus the LRU update the fault triggers.
         let map = self.cost.map_pages(n) + self.cost.lru_update();
-        self.timers.charge(Category::ServiceMap, map);
-        t += map;
+        t += self.charge_span(
+            Category::ServiceMap,
+            SpanKind::MapPages,
+            now + t,
+            map,
+            vb.0,
+            n,
+        );
 
         // Commit state.
         {
@@ -345,6 +450,13 @@ impl UvmDriver {
             }
         }
 
+        self.spans.end(
+            SpanKind::VablockService,
+            SpanCat::Vablock,
+            now + t,
+            vb.0,
+            faulted.count() as u64,
+        );
         (t, n)
     }
 
@@ -364,6 +476,7 @@ impl UvmDriver {
             }
             if self.thrash.is_pinned(v) {
                 self.thrash.note_skip();
+                self.spans.instant(SpanKind::ThrashSkip, now, v.0, 0);
                 skipped_pinned.push(v);
                 continue;
             }
@@ -409,7 +522,14 @@ impl UvmDriver {
             cost += self.cost.writeback_d2h(dirty_pages);
             self.xfer.record_d2h(dirty_pages * PAGE_SIZE);
         }
-        self.timers.charge(Category::Eviction, cost);
+        self.charge_span(
+            Category::Eviction,
+            SpanKind::Evict,
+            now,
+            cost,
+            victim.0,
+            dirty_pages,
+        );
 
         self.pma.free(backed_pages * PAGE_SIZE);
         self.counters.evictions += 1;
@@ -429,6 +549,13 @@ impl UvmDriver {
         let mut t = SimDuration::ZERO;
         let first_block = range.start_page / PAGES_PER_VABLOCK as u64;
         let last_block = (range.end_page() - 1) / PAGES_PER_VABLOCK as u64;
+        self.spans.begin(
+            SpanKind::PrefetchHint,
+            SpanCat::Batch,
+            now,
+            range.start_page,
+            range.num_pages,
+        );
         for vb in (first_block..=last_block).map(VaBlockIdx) {
             let (valid, resident, backed) = {
                 let st = self.space.block(vb);
@@ -438,9 +565,14 @@ impl UvmDriver {
             if wanted.is_empty() {
                 continue;
             }
-            self.timers
-                .charge(Category::ServiceMap, self.cost.vablock_setup());
-            t += self.cost.vablock_setup();
+            t += self.charge_span(
+                Category::ServiceMap,
+                SpanKind::VablockSetup,
+                now + t,
+                self.cost.vablock_setup(),
+                vb.0,
+                0,
+            );
             let g = self.cfg.alloc_granularity_pages;
             for unit_start in (0..PAGES_PER_VABLOCK).step_by(g) {
                 if wanted.count_range(unit_start, g) == 0 || backed.count_range(unit_start, g) > 0 {
@@ -452,8 +584,14 @@ impl UvmDriver {
                         .alloc(g as u64 * PAGE_SIZE, &self.cost, &mut self.rng)
                     {
                         Ok(grant) => {
-                            self.timers.charge(Category::ServicePma, grant.cost);
-                            t += grant.cost;
+                            t += self.charge_span(
+                                Category::ServicePma,
+                                SpanKind::PmaAlloc,
+                                now + t,
+                                grant.cost,
+                                vb.0,
+                                grant.calls,
+                            );
                             self.counters.pma_calls += grant.calls;
                             break;
                         }
@@ -462,18 +600,36 @@ impl UvmDriver {
                 }
                 self.space.block_mut(vb).backed.set_range(unit_start, g);
                 let zero = self.cost.page_zero(g as u64);
-                self.timers.charge(Category::ServiceMigrate, zero);
-                t += zero;
+                t += self.charge_span(
+                    Category::ServiceMigrate,
+                    SpanKind::PageZero,
+                    now + t,
+                    zero,
+                    vb.0,
+                    g as u64,
+                );
                 self.counters.pages_zeroed += g as u64;
             }
             let n = wanted.count() as u64;
             let mig = self.cost.migrate_h2d(n);
-            self.timers.charge(Category::ServiceMigrate, mig);
-            t += mig;
+            t += self.charge_span(
+                Category::ServiceMigrate,
+                SpanKind::MigrateH2d,
+                now + t,
+                mig,
+                vb.0,
+                n,
+            );
             self.xfer.record_h2d(n * PAGE_SIZE);
             let map = self.cost.map_pages(n);
-            self.timers.charge(Category::ServiceMap, map);
-            t += map;
+            t += self.charge_span(
+                Category::ServiceMap,
+                SpanKind::MapPages,
+                now + t,
+                map,
+                vb.0,
+                n,
+            );
             {
                 let st = self.space.block_mut(vb);
                 st.resident.or_with(&wanted);
@@ -491,6 +647,13 @@ impl UvmDriver {
             }
         }
         self.counters.hint_prefetch_calls += 1;
+        self.spans.end(
+            SpanKind::PrefetchHint,
+            SpanCat::Batch,
+            now + t,
+            range.start_page,
+            0,
+        );
         t
     }
 
@@ -505,6 +668,13 @@ impl UvmDriver {
         let mut t = SimDuration::ZERO;
         let first_block = range.start_page / PAGES_PER_VABLOCK as u64;
         let last_block = (range.end_page() - 1) / PAGES_PER_VABLOCK as u64;
+        self.spans.begin(
+            SpanKind::HostAccess,
+            SpanCat::Batch,
+            now,
+            range.start_page,
+            range.num_pages,
+        );
         for vb in (first_block..=last_block).map(VaBlockIdx) {
             let resident = self.space.block(vb).resident;
             if resident.is_empty() {
@@ -516,8 +686,14 @@ impl UvmDriver {
                 + self.cost.writeback_d2h(n)
                 + self.cost.unmap_pages(n)
                 + self.cost.map_pages(0); // membar/TLB shootdown on the GPU
-            self.timers.charge(Category::ServiceMigrate, cost);
-            t += cost;
+            t += self.charge_span(
+                Category::ServiceMigrate,
+                SpanKind::MigrateD2h,
+                now + t,
+                cost,
+                vb.0,
+                n,
+            );
             self.xfer.record_d2h(n * PAGE_SIZE);
             let backed_pages = {
                 let st = self.space.block_mut(vb);
@@ -537,6 +713,13 @@ impl UvmDriver {
             }
         }
         self.counters.host_fault_calls += 1;
+        self.spans.end(
+            SpanKind::HostAccess,
+            SpanCat::Batch,
+            now + t,
+            range.start_page,
+            0,
+        );
         t
     }
 
@@ -580,9 +763,17 @@ impl UvmDriver {
         &mut self,
         notifs: &[AccessNotification],
         granularity_pages: u64,
+        now: SimTime,
     ) -> SimDuration {
         let t = self.cost.access_notifications(notifs.len() as u64);
-        self.timers.charge(Category::Preprocess, t);
+        self.charge_span(
+            Category::Preprocess,
+            SpanKind::AccessNotify,
+            now,
+            t,
+            notifs.len() as u64,
+            0,
+        );
         if !matches!(self.cfg.eviction, EvictionPolicy::AccessCounterLru) {
             return t;
         }
@@ -613,6 +804,18 @@ impl UvmDriver {
     /// Captured trace events (empty unless `capture_trace`).
     pub fn trace(&self) -> &TraceRecorder {
         &self.trace
+    }
+
+    /// Captured batch-lifecycle spans (empty unless `record_spans`).
+    pub fn spans(&self) -> &SpanRecorder {
+        &self.spans
+    }
+
+    /// Mutable span recorder, for the simulation loop to add
+    /// engine-level instants (replays, fault-buffer overflows) to the
+    /// driver's timeline.
+    pub fn spans_mut(&mut self) -> &mut SpanRecorder {
+        &mut self.spans
     }
 
     /// The resolved prefetch policy in effect.
@@ -882,6 +1085,7 @@ mod tests {
                 count: 256,
             }],
             512,
+            now(),
         );
         assert!(t > SimDuration::ZERO);
         // A third block faults: block 1 (not 0) must be evicted.
@@ -971,6 +1175,71 @@ mod tests {
         assert!(kinds.contains(&EventKind::Fault));
         assert!(kinds.contains(&EventKind::Prefetch));
         assert!(kinds.contains(&EventKind::Eviction));
+    }
+
+    #[test]
+    fn spans_reconcile_with_timers_and_balance() {
+        use metrics::SpanPhase;
+        // Small memory forces evictions; prefetch + thrash stress every
+        // span site on the fault path.
+        let cfg = DriverConfig {
+            record_spans: true,
+            gpu_memory_bytes: 2 * VABLOCK_SIZE,
+            thrash: ThrashConfig {
+                enabled: true,
+                ..ThrashConfig::default()
+            },
+            ..DriverConfig::default()
+        };
+        let mut d = driver_with(cfg, 8 * VABLOCK_SIZE);
+        let mut buf = FaultBuffer::new(FaultBufferConfig::default());
+        let mut clock = now();
+        for round in 0..6u64 {
+            push_fault(&mut buf, (round % 4) * 512, round % 2 == 0, 0);
+            let r = d.process_pass(&mut buf, clock);
+            clock += r.time;
+        }
+        clock += d.prefetch_range(
+            &VaRange {
+                name: "hint".into(),
+                start_page: 4 * 512,
+                num_pages: 512,
+            },
+            clock,
+        );
+        d.host_access_range(
+            &VaRange {
+                name: "host".into(),
+                start_page: 0,
+                num_pages: 512,
+            },
+            clock,
+        );
+        let trace = d.spans().to_trace();
+        assert!(trace.dropped == 0, "default capacity fits this run");
+        assert_eq!(
+            trace.reconciled_totals(),
+            *d.timers(),
+            "leaf spans must sum to the driver timers per category"
+        );
+        let begins = trace.events.iter().filter(|e| e.phase == SpanPhase::Begin).count();
+        let ends = trace.events.iter().filter(|e| e.phase == SpanPhase::End).count();
+        assert_eq!(begins, ends);
+        assert!(trace.events.iter().any(|e| e.kind == SpanKind::Evict));
+    }
+
+    #[test]
+    fn spans_off_by_default_records_nothing() {
+        let cfg = DriverConfig {
+            gpu_memory_bytes: 64 * MIB,
+            ..DriverConfig::default()
+        };
+        let mut d = driver_with(cfg, VABLOCK_SIZE);
+        let mut buf = FaultBuffer::new(FaultBufferConfig::default());
+        push_fault(&mut buf, 0, false, 0);
+        d.process_pass(&mut buf, now());
+        assert!(!d.spans().is_enabled());
+        assert!(d.spans().is_empty());
     }
 
     #[test]

@@ -73,24 +73,33 @@ fn steady_state_batch_preprocessing_does_not_allocate() {
         assert!(!arena.batch.groups.is_empty(), "warm-up produced no groups");
     }
 
-    // Steady state: zero heap allocations over many batches.
-    let before = ALLOCS.load(Ordering::Relaxed);
-    for batch in 4..64 {
-        fill_buffer(&mut buffer, batch);
-        gather_into(
-            &mut buffer,
-            256,
-            SimTime::ZERO + SimDuration::from_millis(batch + 1),
-            &space,
-            &mut arena,
-        );
-        assert!(!arena.batch.groups.is_empty());
+    // Steady state: zero heap allocations over many batches. The
+    // counter is process-global, so the libtest harness thread can leak
+    // one-time lazy-init allocations into the window; retry a few
+    // windows and accept the cleanest. A *per-batch* allocation in
+    // `gather_into` repeats in every window and still fails.
+    let mut cleanest = u64::MAX;
+    for attempt in 0..10u64 {
+        let before = ALLOCS.load(Ordering::Relaxed);
+        for batch in 0..60 {
+            fill_buffer(&mut buffer, 4 + attempt * 60 + batch);
+            gather_into(
+                &mut buffer,
+                256,
+                SimTime::ZERO + SimDuration::from_millis(batch + 1),
+                &space,
+                &mut arena,
+            );
+            assert!(!arena.batch.groups.is_empty());
+        }
+        let after = ALLOCS.load(Ordering::Relaxed);
+        cleanest = cleanest.min(after - before);
+        if cleanest == 0 {
+            break;
+        }
     }
-    let after = ALLOCS.load(Ordering::Relaxed);
     assert_eq!(
-        after - before,
-        0,
-        "steady-state gather_into allocated {} times",
-        after - before
+        cleanest, 0,
+        "steady-state gather_into allocated {cleanest} times in every window"
     );
 }

@@ -38,12 +38,16 @@ pub mod simulator;
 
 pub use config::SimConfig;
 pub use simulator::{
-    prepare, run, run_prepared, run_repeated, run_sweep, LaunchStats, PreparedWorkload, SimReport,
+    prepare, run, run_prepared, run_repeated, run_sweep, run_sweep_with, LaunchStats,
+    PreparedWorkload, SimReport,
 };
 
 // Re-export the workspace's public surface for downstream users.
 pub use gpu_model::{self, FaultBufferConfig, GpuConfig};
-pub use metrics::{self, Category, Counters, EventKind, Timers, TraceEvent};
+pub use metrics::{
+    self, flame_summary, Category, ChromePoint, Counters, EventKind, Histogram, SpanCat, SpanEvent,
+    SpanKind, SpanPhase, SpanRecorder, SpanTrace, Timers, TraceEvent,
+};
 pub use sim_engine::{self, CostModel, CostModelConfig, SimDuration, SimRng, SimTime};
 pub use uvm_driver::{
     self, BatchArena, DriverConfig, EvictionPolicy, ManagedSpace, PrefetchPolicy, ReplayPolicy,

@@ -22,7 +22,7 @@ use crate::config::SimConfig;
 use gpu_model::dma::TransferLog;
 use gpu_model::engine::EngineCounters;
 use gpu_model::{FaultBuffer, GpuEngine};
-use metrics::{Counters, Timers, TraceEvent};
+use metrics::{Counters, Histogram, SpanKind, SpanTrace, Timers, TraceEvent};
 use serde::{Deserialize, Serialize};
 use gpu_model::WorkloadTrace;
 use rayon::prelude::*;
@@ -60,6 +60,16 @@ pub struct SimReport {
     pub transfers: TransferLog,
     /// Captured fault/prefetch/eviction events (empty unless enabled).
     pub trace: Vec<TraceEvent>,
+    /// Fault-trace events dropped at the recorder's capacity.
+    pub trace_dropped: u64,
+    /// Captured batch-lifecycle spans (empty unless
+    /// `driver.record_spans`). Sim-time fields are deterministic; the
+    /// `wall_ns` stamps are not.
+    pub span_trace: SpanTrace,
+    /// Per-batch fault-count distribution (paper §III-D).
+    pub faults_per_batch: Histogram,
+    /// Per-batch VABlock-count distribution (paper §III-D).
+    pub vablocks_per_batch: Histogram,
     /// Pages the prefetcher brought in that the kernel never used —
     /// prefetch waste (paper §VI-A). `None` unless
     /// `gpu.track_page_use` was enabled.
@@ -136,16 +146,32 @@ pub fn run_prepared(config: &SimConfig, prepared: &PreparedWorkload) -> SimRepor
     let mut passes: u64 = 0;
     let mut stuck_passes: u64 = 0;
     let mut last_steps: u64 = 0;
+    let mut last_buffer_drops: u64 = 0;
 
     loop {
         engine.run(driver.space(), &mut buffer, clock);
         if engine.is_done() {
             break;
         }
+        // Hardware fault-buffer overflows happen on the GPU side; surface
+        // them as instants on the driver's span timeline.
+        let buffer_drops = engine.counters().faults_dropped;
+        if buffer_drops > last_buffer_drops {
+            driver.spans_mut().instant(
+                SpanKind::BufferOverflow,
+                clock,
+                buffer_drops - last_buffer_drops,
+                0,
+            );
+            last_buffer_drops = buffer_drops;
+        }
         if config.gpu.access_counters.enabled {
             let notifs = engine.drain_access_notifications();
-            clock += driver
-                .note_access_notifications(&notifs, config.gpu.access_counters.granularity_pages);
+            clock += driver.note_access_notifications(
+                &notifs,
+                config.gpu.access_counters.granularity_pages,
+                clock,
+            );
         }
         // Driver works until it releases the GPU with a replay.
         loop {
@@ -210,6 +236,10 @@ pub fn run_prepared(config: &SimConfig, prepared: &PreparedWorkload) -> SimRepor
         engine: *engine.counters(),
         transfers: *driver.transfer_log(),
         trace: driver.trace().events().to_vec(),
+        trace_dropped: driver.trace().dropped(),
+        span_trace: driver.spans().to_trace(),
+        faults_per_batch: driver.faults_per_batch().clone(),
+        vablocks_per_batch: driver.vablocks_per_batch().clone(),
         prefetched_unused_pages,
     }
 }
@@ -223,10 +253,23 @@ pub fn run_prepared(config: &SimConfig, prepared: &PreparedWorkload) -> SimRepor
 /// prefetching on and off — are [`prepare`]d once. Results are
 /// bit-identical to calling [`run`] on each point.
 pub fn run_sweep(points: Vec<(SimConfig, Workload)>) -> Vec<SimReport> {
+    run_sweep_with(points, |_, _| {})
+}
+
+/// [`run_sweep`] with a completion callback: `on_point(index, report)`
+/// fires as each point finishes (from whichever worker thread ran it —
+/// out of input order under parallelism). Used by the `repro` binary for
+/// live progress/ETA telemetry; the returned reports are identical to
+/// [`run_sweep`]'s, still in input order.
+pub fn run_sweep_with<F>(points: Vec<(SimConfig, Workload)>, on_point: F) -> Vec<SimReport>
+where
+    F: Fn(usize, &SimReport) + Sync,
+{
     let mut prepared: Vec<(u64, Workload, PreparedWorkload)> = Vec::new();
-    let jobs: Vec<(SimConfig, usize)> = points
+    let jobs: Vec<(usize, SimConfig, usize)> = points
         .into_iter()
-        .map(|(config, workload)| {
+        .enumerate()
+        .map(|(i, (config, workload))| {
             let idx = prepared
                 .iter()
                 .position(|(seed, w, _)| *seed == config.seed && *w == workload)
@@ -234,11 +277,15 @@ pub fn run_sweep(points: Vec<(SimConfig, Workload)>) -> Vec<SimReport> {
                     prepared.push((config.seed, workload.clone(), prepare(&config, &workload)));
                     prepared.len() - 1
                 });
-            (config, idx)
+            (i, config, idx)
         })
         .collect();
     jobs.into_par_iter()
-        .map(|(config, idx)| run_prepared(&config, &prepared[idx].2))
+        .map(|(i, config, idx)| {
+            let report = run_prepared(&config, &prepared[idx].2);
+            on_point(i, &report);
+            report
+        })
         .collect()
 }
 

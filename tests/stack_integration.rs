@@ -182,7 +182,7 @@ fn access_counter_eviction_protects_hot_blocks_end_to_end() {
                 break;
             }
             let notifs = engine.drain_access_notifications();
-            driver.note_access_notifications(&notifs, 512);
+            driver.note_access_notifications(&notifs, 512, clock);
             loop {
                 let pass = driver.process_pass(&mut buffer, clock);
                 clock += pass.time;

@@ -1,0 +1,105 @@
+//! Schema and round-trip tests for the Chrome-trace exporter: a traced
+//! run's exported JSON must parse, satisfy every trace-event-format
+//! invariant [`metrics::chrome::validate`] checks, and reconcile exactly
+//! — the span leaf durations per category must sum to the driver's
+//! `Timers`, with dropped leaf time still accounted when the span buffer
+//! is bounded below the run's event count.
+
+use bench::experiments::Scale;
+use metrics::{chrome, ChromePoint, SpanTrace};
+use uvm_sim::{SimReport, WorkloadKind};
+
+/// One oversubscribed QUICK-scale run (faults, migrations, evictions and
+/// replays all exercised) with span recording at `span_capacity`.
+fn traced_report(span_capacity: usize) -> SimReport {
+    let scale = Scale::QUICK;
+    let mut cfg = scale.config();
+    cfg.driver.record_spans = true;
+    cfg.driver.span_capacity = span_capacity;
+    cfg.driver.capture_trace = true;
+    uvm_sim::run(&cfg, &scale.workload(WorkloadKind::Random, 1.3))
+}
+
+fn point(r: &SimReport) -> ChromePoint {
+    ChromePoint {
+        label: format!("{} r={:.2}", r.workload, r.subscription_ratio),
+        spans: r.span_trace.clone(),
+        faults: r.trace.clone(),
+        fault_drops: r.trace_dropped,
+        timers: r.timers,
+    }
+}
+
+#[test]
+fn exported_trace_parses_and_validates() {
+    let r = traced_report(1 << 20);
+    assert_eq!(r.span_trace.dropped, 0, "capacity ample for QUICK scale");
+    let json = chrome::render(&[point(&r)]);
+
+    // Round-trip through the JSON parser: the export is a plain JSON
+    // object, not a viewer-only dialect.
+    let parsed: serde::Value = serde_json::from_str(&json).expect("export parses as JSON");
+    assert!(matches!(parsed, serde::Value::Map(_)));
+
+    let stats = chrome::validate(&json).expect("export satisfies trace-event invariants");
+    assert_eq!(stats.processes, 1);
+    assert_eq!(stats.dropped, 0);
+    assert!(stats.leaf_spans > 0, "driver work recorded as leaf spans");
+    assert!(stats.container_spans > 0, "pass containers recorded");
+    assert!(stats.instants > 0, "fault instants recorded");
+    // `events` counts the raw traceEvents array: each container is a B+E
+    // pair, plus the metadata records naming processes/threads.
+    assert!(
+        stats.events >= stats.leaf_spans + 2 * stats.container_spans + stats.instants,
+        "event count covers spans, pairs and metadata"
+    );
+}
+
+#[test]
+fn span_categories_sum_to_driver_timers() {
+    let r = traced_report(1 << 20);
+    assert_eq!(r.span_trace.dropped, 0);
+    assert_eq!(
+        r.span_trace.leaf_totals(),
+        r.timers,
+        "per-category leaf durations sum exactly to the driver timers"
+    );
+}
+
+#[test]
+fn bounded_capture_drops_events_but_never_time() {
+    let r = traced_report(256);
+    assert!(r.span_trace.dropped > 0, "tiny buffer must overflow");
+    assert!(r.span_trace.events.len() <= 256 + 64, "capacity bounds capture");
+    // Dropped leaves carry their sim-time into `dropped_time`, so the
+    // reconciliation invariant survives the bound…
+    assert_eq!(r.span_trace.reconciled_totals(), r.timers);
+    // …and the export still validates (the validator checks
+    // captured + dropped_ns == timers_ns per category).
+    let json = chrome::render(&[point(&r)]);
+    let stats = chrome::validate(&json).expect("bounded export still validates");
+    assert_eq!(stats.dropped, r.span_trace.dropped);
+}
+
+#[test]
+fn span_trace_serde_round_trips() {
+    let r = traced_report(1 << 20);
+    let body = serde_json::to_string(&r.span_trace).expect("serialize span trace");
+    let back: SpanTrace = serde_json::from_str(&body).expect("deserialize span trace");
+    assert_eq!(back.events, r.span_trace.events);
+    assert_eq!(back.dropped, r.span_trace.dropped);
+    assert_eq!(back.dropped_time, r.span_trace.dropped_time);
+}
+
+#[test]
+fn multi_point_export_keeps_processes_separate() {
+    let a = traced_report(1 << 20);
+    let scale = Scale::QUICK;
+    let mut cfg = scale.config();
+    cfg.driver.record_spans = true;
+    cfg.driver.span_capacity = 1 << 20;
+    let b = uvm_sim::run(&cfg, &scale.workload(WorkloadKind::Regular, 0.5));
+    let json = chrome::render(&[point(&a), point(&b)]);
+    let stats = chrome::validate(&json).expect("two-point export validates");
+    assert_eq!(stats.processes, 2);
+}
