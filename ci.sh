@@ -1,26 +1,58 @@
 #!/usr/bin/env bash
-# CI gate: build, full test suite, and a quick-scale end-to-end
-# reproduction of every experiment. Mirrors what reviewers run by hand;
-# keep it fast enough to run on every push (~1 min on one core).
+# CI gates.
+#
+#   ./ci.sh            per-push gate: build, full test suite, quick-scale
+#                      end-to-end repro (~1 min on one core)
+#   ./ci.sh nightly    full-scale gate: `repro all --scale 1` (12 GB
+#                      simulated GPU, hours on one core), traced fig1 at
+#                      full scale with the schema gate, and bench-append
+#                      trend recording into nightly-out/
 set -euo pipefail
 cd "$(dirname "$0")"
+
+target="${1:-push}"
 
 echo "== cargo build --release =="
 cargo build --release --workspace
 
-echo "== cargo test =="
-cargo test -q --workspace
+case "$target" in
+push)
+    echo "== cargo test =="
+    cargo test -q --workspace
 
-echo "== repro all --scale 128 (quick-scale end-to-end) =="
-./target/release/repro all --scale 128 --json --out ci-out
+    echo "== repro all --scale 128 (quick-scale end-to-end) =="
+    ./target/release/repro all --scale 128 --json --out ci-out
 
-echo "== repro fig1 --scale 16 --trace-out (traced run + schema gate) =="
-t0=$(date +%s.%N)
-./target/release/repro fig1 --scale 16 --no-progress --trace-cap 8192 \
-    --trace-out ci-out/trace.json
-t1=$(date +%s.%N)
-./target/release/repro check-trace ci-out/trace.json
-./target/release/repro bench-append ci-out/BENCH_hotpaths.json \
-    fig1_scale16_traced "$(echo "$t1 $t0" | awk '{printf "%.3f", $1 - $2}')"
+    echo "== repro fig1 --scale 16 --trace-out (traced run + schema gate) =="
+    t0=$(date +%s.%N)
+    ./target/release/repro fig1 --scale 16 --no-progress --trace-cap 8192 \
+        --trace-out ci-out/trace.json
+    t1=$(date +%s.%N)
+    ./target/release/repro check-trace ci-out/trace.json
+    ./target/release/repro bench-append ci-out/BENCH_hotpaths.json \
+        fig1_scale16_traced "$(echo "$t1 $t0" | awk '{printf "%.3f", $1 - $2}')"
+    ;;
+nightly)
+    echo "== repro all --scale 1 (full-scale end-to-end) =="
+    t0=$(date +%s.%N)
+    ./target/release/repro all --scale 1 --json --no-progress --out nightly-out
+    t1=$(date +%s.%N)
+    ./target/release/repro bench-append nightly-out/BENCH_hotpaths.json \
+        all_scale1 "$(echo "$t1 $t0" | awk '{printf "%.3f", $1 - $2}')"
 
-echo "== ci.sh: all green =="
+    echo "== repro fig1 --scale 1 --trace-out (traced full-scale + schema gate) =="
+    t0=$(date +%s.%N)
+    ./target/release/repro fig1 --scale 1 --no-progress --trace-cap 8192 \
+        --trace-out nightly-out/trace.json
+    t1=$(date +%s.%N)
+    ./target/release/repro check-trace nightly-out/trace.json
+    ./target/release/repro bench-append nightly-out/BENCH_hotpaths.json \
+        fig1_scale1_traced "$(echo "$t1 $t0" | awk '{printf "%.3f", $1 - $2}')"
+    ;;
+*)
+    echo "ci.sh: unknown target '$target' (expected nothing or 'nightly')" >&2
+    exit 2
+    ;;
+esac
+
+echo "== ci.sh ($target): all green =="

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro <experiment> [--scale <denominator>] [--out <dir>] [--json] [--threads <n>]
-//!                    [--trace-out <file>] [--trace-cap <events>]
+//!                    [--service-workers <n>] [--trace-out <file>] [--trace-cap <events>]
 //!                    [--progress|--no-progress]
 //! repro all
 //! repro list
@@ -41,6 +41,10 @@
 //! (the scatter data behind Figures 7 and 8) are written to `--out`
 //! (default `./repro-out`). `--threads N` sizes the rayon pool running
 //! the sweeps; results are deterministic and identical for every N.
+//! `--service-workers N` pins the intra-batch planning width inside each
+//! simulation point (default: auto = the rayon pool size); simulated
+//! output — stdout, tables, traces — is bit-identical for every value,
+//! and the per-phase wall-time split lands in `BENCH_hotpaths.json`.
 
 use bench::experiments::{ablations, extras, figures, obs, tables, Artifact, Scale};
 use metrics::chrome;
@@ -86,8 +90,8 @@ const EXPERIMENTS: &[Experiment] = &[
 fn usage() -> ! {
     eprintln!(
         "usage: repro <experiment|all|list> [--scale <denominator>] [--out <dir>] \
-         [--json] [--threads <n>] [--trace-out <file>] [--trace-cap <events>] \
-         [--progress|--no-progress]\n\
+         [--json] [--threads <n>] [--service-workers <n>] [--trace-out <file>] \
+         [--trace-cap <events>] [--progress|--no-progress]\n\
          \x20      repro check-trace <file>\n\
          \x20      repro bench-append <file> <name> <wall_seconds>"
     );
@@ -184,6 +188,22 @@ struct ExperimentPerf {
     sim_warp_steps: u64,
     faults_per_sec: f64,
     warp_steps_per_sec: f64,
+    /// Host wall time the drivers spent in the serial front half of batch
+    /// service (fetch/sort, replay policy, ordered commit).
+    serial_front_ms: f64,
+    /// Host wall time on the planning phase's critical path.
+    parallel_service_ms: f64,
+    /// Planning work summed over all participants (≥ `parallel_service_ms`
+    /// when the pool scales).
+    service_busy_ms: f64,
+    /// `busy / (wall × workers)` — effective planner utilisation.
+    worker_utilisation: f64,
+    /// Pooled plans recomputed serially at commit after an intra-batch
+    /// eviction invalidated the batch-start snapshot (0 on the fused
+    /// serial path, which always plans against current state).
+    plan_replans: u64,
+    /// Service-planning workers the experiment's drivers ran with.
+    service_workers: u64,
 }
 
 /// The `BENCH_hotpaths.json` report `--json` writes alongside the tables.
@@ -191,6 +211,8 @@ struct ExperimentPerf {
 struct PerfReport {
     scale_denominator: f64,
     threads: usize,
+    /// `--service-workers` override (0 = auto: the rayon pool size).
+    service_workers: usize,
     experiments: Vec<ExperimentPerf>,
     total_wall_seconds: f64,
 }
@@ -218,6 +240,7 @@ fn main() {
     let mut out_dir = PathBuf::from("repro-out");
     let mut json = false;
     let mut threads: Option<usize> = None;
+    let mut service_workers = 0usize;
     let mut trace_out: Option<PathBuf> = None;
     let mut trace_cap = metrics::DEFAULT_SPAN_CAPACITY;
     let mut progress: Option<bool> = None;
@@ -257,6 +280,18 @@ fn main() {
                 }
                 threads = Some(n);
             }
+            "--service-workers" => {
+                i += 1;
+                let n: usize = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                if n == 0 {
+                    eprintln!("error: --service-workers must be >= 1");
+                    std::process::exit(2);
+                }
+                service_workers = n;
+            }
             "--out" => {
                 i += 1;
                 out_dir = PathBuf::from(args.get(i).unwrap_or_else(|| usage()));
@@ -271,6 +306,9 @@ fn main() {
             .num_threads(n)
             .build_global()
             .expect("configure global thread pool");
+    }
+    if service_workers > 0 {
+        obs::set_service_workers(service_workers);
     }
     if trace_out.is_some() {
         obs::enable_tracing(trace_cap);
@@ -310,11 +348,13 @@ fn main() {
     let total0 = Instant::now();
     let mut perf = Vec::with_capacity(selected.len());
     bench::experiments::take_sim_totals(); // reset the work accumulator
+    metrics::phase::take(); // reset the service-phase accumulator
     for (name, f) in selected {
         let t0 = Instant::now();
         let artifact = f(scale);
         let wall = t0.elapsed().as_secs_f64();
         let (sim_faults, sim_warp_steps) = bench::experiments::take_sim_totals();
+        let phase = metrics::phase::take();
         perf.push(ExperimentPerf {
             name: name.to_string(),
             wall_seconds: wall,
@@ -322,6 +362,12 @@ fn main() {
             sim_warp_steps,
             faults_per_sec: sim_faults as f64 / wall,
             warp_steps_per_sec: sim_warp_steps as f64 / wall,
+            serial_front_ms: phase.serial_front_ns as f64 / 1e6,
+            parallel_service_ms: phase.parallel_service_ns as f64 / 1e6,
+            service_busy_ms: phase.service_busy_ns as f64 / 1e6,
+            worker_utilisation: phase.utilisation(),
+            plan_replans: phase.plan_replans,
+            service_workers: phase.workers,
         });
         out(&artifact.table.render());
         for (file, contents) in &artifact.csvs {
@@ -380,6 +426,7 @@ fn main() {
         let report = PerfReport {
             scale_denominator: scale_den,
             threads: rayon::current_num_threads(),
+            service_workers,
             experiments: perf,
             total_wall_seconds: total0.elapsed().as_secs_f64(),
         };

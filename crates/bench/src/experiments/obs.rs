@@ -22,6 +22,9 @@ use uvm_sim::{SimConfig, SimReport, Workload};
 static TRACE_ENABLED: AtomicBool = AtomicBool::new(false);
 static SPAN_CAPACITY: AtomicUsize = AtomicUsize::new(metrics::DEFAULT_SPAN_CAPACITY);
 static PROGRESS: AtomicBool = AtomicBool::new(false);
+/// `--service-workers` override for every sweep point (0 = leave configs
+/// on auto; the simulator then resolves to the rayon pool size).
+static SERVICE_WORKERS: AtomicUsize = AtomicUsize::new(0);
 
 static POINTS: Mutex<Vec<ChromePoint>> = Mutex::new(Vec::new());
 
@@ -74,9 +77,23 @@ pub fn take_points() -> Vec<ChromePoint> {
     std::mem::take(&mut *POINTS.lock().unwrap())
 }
 
-/// When tracing is armed, rewrite the sweep's driver configs to record
-/// spans and the per-fault trace.
+/// Pin every subsequent sweep point's intra-batch planning width
+/// (`repro --service-workers`). Simulated output is identical for every
+/// value — this exists to measure host wall-time scaling.
+pub fn set_service_workers(n: usize) {
+    SERVICE_WORKERS.store(n, Ordering::Relaxed);
+}
+
+/// Rewrite the sweep's driver configs: always apply the service-worker
+/// override when one is set, and switch on span/fault-trace recording
+/// when tracing is armed.
 pub fn instrument_points(points: &mut [(SimConfig, Workload)]) {
+    let workers = SERVICE_WORKERS.load(Ordering::Relaxed);
+    if workers > 0 {
+        for (config, _) in points.iter_mut() {
+            config.driver.service_workers = workers;
+        }
+    }
     if !tracing_enabled() {
         return;
     }

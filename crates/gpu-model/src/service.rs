@@ -1,0 +1,71 @@
+//! Batch-service handoff types.
+//!
+//! The UVM driver services one fault batch in two halves: a planning half
+//! that computes each VABlock's service window (page-mask math, prefetch
+//! resolution, per-page cost computation) from a read-only snapshot of
+//! block state, and a serial commit half that applies the plans in sorted
+//! VABlock order (allocation, eviction, state commit, timer charges). The
+//! planning half is pure, so it can fan out over a worker pool; this
+//! module defines the plain-data record the two halves exchange.
+
+use crate::mask::PageMask;
+use sim_engine::SimDuration;
+
+/// One VABlock's planned service window within a batch.
+///
+/// Computed against a snapshot of the block's state (identified by
+/// `eviction_epoch`); the committer re-plans serially if an eviction
+/// perturbed the block between planning and commit. All fields are
+/// inline — a plan never touches the heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServicePlan {
+    /// New (valid, non-resident) faulted pages of the block.
+    pub faulted: PageMask,
+    /// Pages the prefetcher adds on top of `faulted`.
+    pub prefetch: PageMask,
+    /// `faulted ∪ prefetch` — every page to migrate.
+    pub to_migrate: PageMask,
+    /// Bit *i* set = allocation unit *i* of the block needs fresh
+    /// physical backing (has pages to migrate and none backed yet).
+    pub units_to_back: PageMask,
+    /// `to_migrate.count()`, cached for the commit half.
+    pub pages: u64,
+    /// Zeroing cost of one freshly backed allocation unit.
+    pub zero_cost: SimDuration,
+    /// Host→device migration cost of the `pages` pages.
+    pub migrate_cost: SimDuration,
+    /// Mapping + membar + LRU-update cost of the `pages` pages.
+    pub map_cost: SimDuration,
+    /// The block's `eviction_count` when the plan was computed. A
+    /// mismatch at commit time means an earlier group's eviction cleared
+    /// this block's residency — the plan is stale and must be recomputed.
+    pub eviction_epoch: u32,
+}
+
+impl ServicePlan {
+    /// True when the batch holds no serviceable fault for the block
+    /// (every faulted page was invalid or already resident).
+    pub fn is_noop(&self) -> bool {
+        self.faulted.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_noop() {
+        let p = ServicePlan::default();
+        assert!(p.is_noop());
+        assert_eq!(p.pages, 0);
+        assert!(p.units_to_back.is_empty());
+    }
+
+    #[test]
+    fn plan_with_faults_is_not_noop() {
+        let mut p = ServicePlan::default();
+        p.faulted.set(3);
+        assert!(!p.is_noop());
+    }
+}

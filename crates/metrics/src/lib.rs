@@ -16,6 +16,8 @@
 //!   scatter figures (Fig. 7 and Fig. 8).
 //! * [`span`] — span-level batch-lifecycle tracing: begin/end/leaf/instant
 //!   events per driver pass, bounded recorder, flame-style summaries.
+//! * [`phase`] — host wall-time split of the driver's two-phase batch
+//!   service (serial front vs parallel planning), for Amdahl tracking.
 //! * [`chrome`] — Chrome-trace/Perfetto JSON export of span traces plus a
 //!   validator for the trace-event-format invariants.
 //! * [`report`] — plain-text table and CSV rendering for the `repro`
@@ -26,6 +28,7 @@
 pub mod chrome;
 pub mod counters;
 pub mod histogram;
+pub mod phase;
 pub mod report;
 pub mod span;
 pub mod timers;
@@ -34,6 +37,7 @@ pub mod trace;
 pub use chrome::{ChromePoint, TraceStats};
 pub use counters::Counters;
 pub use histogram::Histogram;
+pub use phase::ServicePhaseWall;
 pub use span::{
     flame_summary, FlameRow, SpanCat, SpanEvent, SpanKind, SpanPhase, SpanRecorder, SpanTrace,
     DEFAULT_SPAN_CAPACITY,

@@ -9,18 +9,22 @@ use crate::batch::{self, BatchArena, FaultGroup};
 use crate::lru::LruList;
 use crate::pma::Pma;
 use crate::policy::{EvictionPolicy, ReplayPolicy};
-use crate::prefetch::{compute_prefetch, PrefetchPolicy, ResolvedPrefetch};
+use crate::prefetch::{DensityTree, PrefetchPolicy, ResolvedPrefetch};
+use crate::service::{plan_group, PlanRequest, ServicePool, MIN_PARALLEL_GROUPS};
 use crate::thrash::{ThrashConfig, ThrashDetector};
 use gpu_model::dma::TransferLog;
-use gpu_model::{AccessNotification, FaultBuffer, GlobalPage, PageMask, VaBlockIdx};
+use gpu_model::{
+    AccessNotification, FaultBuffer, GlobalPage, PageMask, ServicePlan, VaBlockIdx,
+};
 use metrics::trace::DEFAULT_TRACE_CAPACITY;
 use metrics::{
-    Category, Counters, EventKind, Histogram, SpanCat, SpanKind, SpanRecorder, Timers,
-    TraceRecorder, DEFAULT_SPAN_CAPACITY,
+    Category, Counters, EventKind, Histogram, ServicePhaseWall, SpanCat, SpanKind, SpanRecorder,
+    Timers, TraceRecorder, DEFAULT_SPAN_CAPACITY,
 };
 use serde::{Deserialize, Serialize};
 use sim_engine::units::{GIB, PAGES_PER_VABLOCK, PAGE_SIZE};
 use sim_engine::{CostModel, SimDuration, SimRng, SimTime};
+use std::time::Instant;
 
 /// Driver configuration (module-load parameters).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -52,6 +56,13 @@ pub struct DriverConfig {
     pub span_capacity: usize,
     /// Thrashing detection + pinning (off = stock behaviour).
     pub thrash: ThrashConfig,
+    /// Worker threads for the parallel service-planning half of a batch
+    /// (including the driver thread itself). 1 = fully serial; 0 = auto,
+    /// resolved by the simulation harness to its thread-pool size (the
+    /// driver itself treats an unresolved 0 as 1). Any value produces
+    /// bit-identical simulated output — only host wall time changes.
+    #[serde(default)]
+    pub service_workers: usize,
 }
 
 impl Default for DriverConfig {
@@ -68,6 +79,7 @@ impl Default for DriverConfig {
             record_spans: false,
             span_capacity: DEFAULT_SPAN_CAPACITY,
             thrash: ThrashConfig::default(),
+            service_workers: 0,
         }
     }
 }
@@ -112,6 +124,20 @@ pub struct UvmDriver {
     /// Eviction scratch: pinned blocks popped from the LRU while hunting
     /// for a victim, re-inserted afterwards. Reused across evictions.
     evict_skipped: Vec<VaBlockIdx>,
+    /// Persistent per-VABlock density trees mirroring each block's
+    /// `resident` mask, maintained incrementally at commit/evict time so
+    /// the planner never rebuilds a tree from scratch.
+    trees: Vec<DensityTree>,
+    /// Whether the trees are maintained at all: only the density prefetch
+    /// policy reads them, so every other policy skips the bookkeeping.
+    maintain_trees: bool,
+    /// Worker pool for the parallel planning half of a pass.
+    pool: ServicePool,
+    /// Planning scratch tree for the driver thread (workers own theirs).
+    plan_scratch: DensityTree,
+    /// Host wall-time split of the two-phase service, flushed to the
+    /// process-global [`metrics::phase`] totals when the driver drops.
+    phase_wall: ServicePhaseWall,
 }
 
 impl UvmDriver {
@@ -143,12 +169,21 @@ impl UvmDriver {
         } else {
             SpanRecorder::disabled()
         };
+        let workers = cfg.service_workers.max(1);
         UvmDriver {
             resolved_prefetch,
             cost,
             pma: Pma::new(cfg.gpu_memory_bytes),
             lru: LruList::new(space.num_blocks()),
             thrash: ThrashDetector::new(cfg.thrash.clone(), space.num_blocks()),
+            trees: vec![DensityTree::new_empty(); space.num_blocks()],
+            maintain_trees: matches!(resolved_prefetch, ResolvedPrefetch::Density { .. }),
+            pool: ServicePool::new(workers),
+            plan_scratch: DensityTree::new_empty(),
+            phase_wall: ServicePhaseWall {
+                workers: workers as u64,
+                ..ServicePhaseWall::default()
+            },
             space,
             rng,
             timers: Timers::default(),
@@ -195,6 +230,7 @@ impl UvmDriver {
     /// VABlock group (allocating, prefetching, migrating, mapping, and
     /// evicting as needed), then apply the replay policy.
     pub fn process_pass(&mut self, buffer: &mut FaultBuffer, now: SimTime) -> PassResult {
+        let pass_start = Instant::now();
         let mut t = SimDuration::ZERO;
         self.spans
             .begin(SpanKind::Pass, SpanCat::Batch, now, self.counters.batches, 0);
@@ -255,11 +291,67 @@ impl UvmDriver {
         }
 
         let ngroups = batch.groups.len();
+
+        // Planning half: every group's service window (prefetch
+        // resolution, page-mask math, per-page costs) is computed from the
+        // batch-start snapshot, fanned out over the worker pool into
+        // disjoint plan slots, then committed strictly in sorted VABlock
+        // order — the commit half is serial and owns the PMA, RNG, LRU,
+        // eviction and every timer/span/trace charge, so all simulated
+        // output is independent of the worker count. Small batches (and
+        // the 1-worker pool) fuse planning into the commit walk instead:
+        // a plan computed right before its commit differs from its
+        // batch-start version only when an earlier group's eviction
+        // bumped the block's epoch — exactly the case the pooled path
+        // re-plans serially at commit, so the two modes are
+        // output-identical (tests/trace_golden.rs and
+        // uvm-driver/tests/service_equiv.rs enforce this).
         let mut pages_migrated = 0;
-        for group in &batch.groups {
-            let (dt, migrated) = self.service_group(group, now + t);
-            t += dt;
-            pages_migrated += migrated;
+        let mut plan_ns = 0u64;
+        if self.pool.workers() > 1 && ngroups >= MIN_PARALLEL_GROUPS {
+            if arena.plans.len() < ngroups {
+                arena.plans.resize(ngroups, ServicePlan::default());
+            }
+            let plan_start = Instant::now();
+            let (busy_ns, _) = self.pool.plan_all(
+                &PlanRequest {
+                    space: &self.space,
+                    trees: &self.trees,
+                    policy: self.resolved_prefetch,
+                    cost: &self.cost,
+                    granularity: self.cfg.alloc_granularity_pages,
+                    groups: &arena.batch.groups,
+                },
+                &mut arena.plans[..ngroups],
+                &mut self.plan_scratch,
+            );
+            plan_ns = plan_start.elapsed().as_nanos() as u64;
+            self.phase_wall.parallel_service_ns += plan_ns;
+            self.phase_wall.service_busy_ns += busy_ns;
+            self.phase_wall.planned_groups += ngroups as u64;
+            self.phase_wall.parallel_batches += 1;
+            for (group, plan) in arena.batch.groups.iter().zip(arena.plans.iter()) {
+                let (dt, migrated) = self.commit_group(group, plan, now + t);
+                t += dt;
+                pages_migrated += migrated;
+            }
+        } else {
+            let mut plan = ServicePlan::default();
+            for group in arena.batch.groups.iter() {
+                plan_group(
+                    &self.space,
+                    &self.trees,
+                    self.resolved_prefetch,
+                    &self.cost,
+                    self.cfg.alloc_granularity_pages,
+                    group,
+                    &mut self.plan_scratch,
+                    &mut plan,
+                );
+                let (dt, migrated) = self.commit_group(group, &plan, now + t);
+                t += dt;
+                pages_migrated += migrated;
+            }
         }
 
         // Replay policy (paper §III-E). Under Block the driver issues
@@ -301,10 +393,12 @@ impl UvmDriver {
             self.spans.instant(SpanKind::Replay, now + t, replays, 0);
         }
 
-        let fetched = batch.fetched;
+        let fetched = arena.batch.fetched;
         self.spans
             .end(SpanKind::Pass, SpanCat::Batch, now + t, fetched, replays);
         self.arena = arena;
+        self.phase_wall.serial_front_ns +=
+            (pass_start.elapsed().as_nanos() as u64).saturating_sub(plan_ns);
         PassResult {
             time: t,
             replays,
@@ -313,10 +407,19 @@ impl UvmDriver {
         }
     }
 
-    /// Service one VABlock's faults: ensure physical backing (evicting if
-    /// exhausted), compute prefetch, migrate, map, and age the LRU.
-    /// Returns (time consumed, pages migrated).
-    fn service_group(&mut self, group: &FaultGroup, now: SimTime) -> (SimDuration, u64) {
+    /// Commit one VABlock's service plan: ensure physical backing
+    /// (evicting if exhausted), migrate, map, commit residency, and age
+    /// the LRU. If an eviction earlier in this batch invalidated the
+    /// plan's snapshot (detected by `eviction_epoch`), the plan is first
+    /// recomputed serially from current state — staleness depends only on
+    /// simulated state, never on worker scheduling, so replays are
+    /// identical at every worker count. Returns (time, pages migrated).
+    fn commit_group(
+        &mut self,
+        group: &FaultGroup,
+        plan: &ServicePlan,
+        now: SimTime,
+    ) -> (SimDuration, u64) {
         let mut t = SimDuration::ZERO;
         let vb = group.block;
         self.spans.begin(
@@ -337,12 +440,24 @@ impl UvmDriver {
             0,
         );
 
-        let (valid, resident) = {
-            let st = self.space.block(vb);
-            (st.valid, st.resident)
+        let mut replanned = ServicePlan::default();
+        let plan = if self.space.block(vb).eviction_count != plan.eviction_epoch {
+            self.phase_wall.plan_replans += 1;
+            plan_group(
+                &self.space,
+                &self.trees,
+                self.resolved_prefetch,
+                &self.cost,
+                self.cfg.alloc_granularity_pages,
+                group,
+                &mut self.plan_scratch,
+                &mut replanned,
+            );
+            &replanned
+        } else {
+            plan
         };
-        let faulted = group.fault_mask.intersect(&valid).difference(&resident);
-        if faulted.is_empty() {
+        if plan.is_noop() {
             self.spans
                 .end(SpanKind::VablockService, SpanCat::Vablock, now + t, vb.0, 0);
             return (t, 0);
@@ -354,17 +469,13 @@ impl UvmDriver {
             self.spans.instant(SpanKind::ThrashPin, now + t, vb.0, 0);
         }
 
-        let prefetch_mask = compute_prefetch(self.resolved_prefetch, &resident, &faulted, &valid);
-        let to_migrate = faulted.union(&prefetch_mask);
-
         // Physical backing at the configured granularity, lazily per
-        // sub-region; evict (other) blocks when memory is exhausted.
+        // sub-region; evict (other) blocks when memory is exhausted. The
+        // plan's unit scan stays valid even if an eviction fires mid-loop:
+        // `evict_one` never touches the block being serviced.
         let g = self.cfg.alloc_granularity_pages;
-        let backed = self.space.block(vb).backed;
-        for unit_start in (0..PAGES_PER_VABLOCK).step_by(g) {
-            if to_migrate.count_range(unit_start, g) == 0 || backed.count_range(unit_start, g) > 0 {
-                continue;
-            }
+        for unit in plan.units_to_back.iter_set() {
+            let unit_start = unit * g;
             let bytes = g as u64 * PAGE_SIZE;
             loop {
                 match self.pma.alloc(bytes, &self.cost, &mut self.rng) {
@@ -387,12 +498,11 @@ impl UvmDriver {
             }
             self.space.block_mut(vb).backed.set_range(unit_start, g);
             // Newly allocated memory is zeroed before use.
-            let zero = self.cost.page_zero(g as u64);
             t += self.charge_span(
                 Category::ServiceMigrate,
                 SpanKind::PageZero,
                 now + t,
-                zero,
+                plan.zero_cost,
                 vb.0,
                 g as u64,
             );
@@ -400,25 +510,23 @@ impl UvmDriver {
         }
 
         // Migration: host staging + one coalesced DMA per VABlock/batch.
-        let n = to_migrate.count() as u64;
-        let mig = self.cost.migrate_h2d(n);
+        let n = plan.pages;
         t += self.charge_span(
             Category::ServiceMigrate,
             SpanKind::MigrateH2d,
             now + t,
-            mig,
+            plan.migrate_cost,
             vb.0,
             n,
         );
         self.xfer.record_h2d(n * PAGE_SIZE);
 
         // Mapping + membar, plus the LRU update the fault triggers.
-        let map = self.cost.map_pages(n) + self.cost.lru_update();
         t += self.charge_span(
             Category::ServiceMap,
             SpanKind::MapPages,
             now + t,
-            map,
+            plan.map_cost,
             vb.0,
             n,
         );
@@ -426,25 +534,44 @@ impl UvmDriver {
         // Commit state.
         {
             let st = self.space.block_mut(vb);
-            st.resident.or_with(&to_migrate);
-            st.prefetched_ever.or_with(&prefetch_mask);
-            let dirty_new = group.write_mask.intersect(&faulted);
+            st.resident.or_with(&plan.to_migrate);
+            st.prefetched_ever.or_with(&plan.prefetch);
+            let dirty_new = group.write_mask.intersect(&plan.faulted);
             st.dirty.or_with(&dirty_new);
+        }
+        // The persistent tree mirrors `resident`; the migrated pages are
+        // disjoint from the pre-commit residency by construction. Dense
+        // migrations rebuild flat from the already-updated residency
+        // instead of walking a leaf-to-root path per page. Only the
+        // density policy ever reads the trees, so other policies skip
+        // maintenance entirely.
+        if self.maintain_trees {
+            if plan.pages > DensityTree::DENSE_REBUILD_CUTOFF as u64 {
+                self.trees[vb.0 as usize] =
+                    DensityTree::from_mask(&self.space.block(vb).resident);
+            } else {
+                self.trees[vb.0 as usize].add_mask(&plan.to_migrate);
+            }
+            debug_assert_eq!(
+                self.trees[vb.0 as usize],
+                DensityTree::from_mask(&self.space.block(vb).resident),
+                "persistent density tree diverged from residency"
+            );
         }
         self.space.sync_block_residency(vb);
         self.lru.touch(vb);
 
-        self.counters.pages_faulted_in += faulted.count() as u64;
-        self.counters.pages_prefetched += prefetch_mask.count() as u64;
+        self.counters.pages_faulted_in += plan.faulted.count() as u64;
+        self.counters.pages_prefetched += plan.prefetch.count() as u64;
         self.counters.vablocks_serviced += 1;
 
         if self.trace.is_enabled() {
             let base = vb.first_page().0;
-            for off in faulted.iter_set() {
+            for off in plan.faulted.iter_set() {
                 self.trace
                     .record(EventKind::Fault, base + off as u64, now + t);
             }
-            for off in prefetch_mask.iter_set() {
+            for off in plan.prefetch.iter_set() {
                 self.trace
                     .record(EventKind::Prefetch, base + off as u64, now + t);
             }
@@ -455,7 +582,7 @@ impl UvmDriver {
             SpanCat::Vablock,
             now + t,
             vb.0,
-            faulted.count() as u64,
+            plan.faulted.count() as u64,
         );
         (t, n)
     }
@@ -515,6 +642,9 @@ impl UvmDriver {
             st.eviction_count += 1;
             (dirty, resident, backed)
         };
+        if self.maintain_trees {
+            self.trees[victim.0 as usize].clear();
+        }
         self.space.sync_block_residency(victim);
 
         let mut cost = self.cost.evict_fixed() + self.cost.unmap_pages(resident_pages);
@@ -635,6 +765,9 @@ impl UvmDriver {
                 st.resident.or_with(&wanted);
                 st.prefetched_ever.or_with(&wanted);
             }
+            if self.maintain_trees {
+                self.trees[vb.0 as usize].add_mask(&wanted);
+            }
             self.space.sync_block_residency(vb);
             self.lru.touch(vb);
             self.counters.pages_hint_prefetched += n;
@@ -703,6 +836,9 @@ impl UvmDriver {
                 st.backed = PageMask::EMPTY;
                 b
             };
+            if self.maintain_trees {
+                self.trees[vb.0 as usize].clear();
+            }
             self.space.sync_block_residency(vb);
             self.pma.free(backed_pages * PAGE_SIZE);
             self.lru.remove(vb);
@@ -831,6 +967,24 @@ impl UvmDriver {
     /// GPU memory currently backing VABlocks (bytes).
     pub fn gpu_memory_in_use(&self) -> u64 {
         self.pma.in_use()
+    }
+
+    /// Host wall-time split of the two-phase batch service this driver
+    /// has accumulated so far (also flushed to the process-global
+    /// [`metrics::phase`] totals when the driver drops).
+    pub fn service_phase_wall(&self) -> &ServicePhaseWall {
+        &self.phase_wall
+    }
+
+    /// Service-planning workers in effect (1 = fully serial).
+    pub fn service_workers(&self) -> usize {
+        self.pool.workers()
+    }
+}
+
+impl Drop for UvmDriver {
+    fn drop(&mut self) {
+        metrics::phase::record(&self.phase_wall);
     }
 }
 
@@ -1253,6 +1407,103 @@ mod tests {
         let r = d.process_pass(&mut buf, now());
         assert_eq!(r.fetched, 0);
         assert_eq!(r.replays, 1, "overflow path: replay to re-raise faults");
+    }
+
+    #[test]
+    fn worker_count_does_not_change_simulation() {
+        // 12 faulting blocks per pass (≥ the inline threshold, so four
+        // workers genuinely run the pool) under memory pressure, so plans,
+        // evictions, replans and RNG draws are all exercised.
+        let run = |workers: usize| {
+            let cfg = DriverConfig {
+                gpu_memory_bytes: 4 * VABLOCK_SIZE,
+                service_workers: workers,
+                ..DriverConfig::default()
+            };
+            let mut d = driver_with(cfg, 16 * VABLOCK_SIZE);
+            let mut buf = FaultBuffer::new(FaultBufferConfig::default());
+            let mut clock = now();
+            let mut results = Vec::new();
+            for round in 0..8u64 {
+                for b in 0..12u64 {
+                    push_fault(&mut buf, b * 512 + (round * 7) % 512, b % 3 == 0, 0);
+                }
+                let r = d.process_pass(&mut buf, clock);
+                clock += r.time;
+                results.push(r);
+            }
+            let resid: Vec<u64> = (0..16)
+                .map(|b| d.space().block(VaBlockIdx(b)).resident.count() as u64)
+                .collect();
+            (results, *d.timers(), *d.counters(), resid)
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        assert_eq!(serial.0, parallel.0, "pass results diverged");
+        assert_eq!(serial.1, parallel.1, "timers diverged");
+        assert_eq!(serial.2, parallel.2, "counters diverged");
+        assert_eq!(serial.3, parallel.3, "residency diverged");
+    }
+
+    #[test]
+    fn stale_plan_replans_after_intra_batch_eviction() {
+        // Memory for two blocks; the pool must be engaged (workers > 1,
+        // ≥ MIN_PARALLEL_GROUPS groups), since the fused serial path plans
+        // against current state and never goes stale. Blocks 8 and 9
+        // become resident first, so they head the LRU. The next batch
+        // faults blocks 0..=7 and a fresh page of 9: backing blocks 0 and
+        // 1 evicts 8 then 9, so block 9's group — planned against the
+        // pre-eviction snapshot, committed last — must be recomputed.
+        let cfg = DriverConfig {
+            prefetch: PrefetchPolicy::Disabled,
+            gpu_memory_bytes: 2 * VABLOCK_SIZE,
+            service_workers: 4,
+            ..DriverConfig::default()
+        };
+        let mut d = driver_with(cfg, 10 * VABLOCK_SIZE);
+        let mut buf = FaultBuffer::new(FaultBufferConfig::default());
+        push_fault(&mut buf, 8 * 512, false, 0);
+        push_fault(&mut buf, 9 * 512, false, 0);
+        d.process_pass(&mut buf, now());
+        assert_eq!(d.service_phase_wall().plan_replans, 0);
+        for b in 0..=7u64 {
+            push_fault(&mut buf, b * 512 + 1, false, 0);
+        }
+        push_fault(&mut buf, 9 * 512 + 1, false, 0);
+        d.process_pass(&mut buf, now());
+        assert!(
+            d.service_phase_wall().plan_replans >= 1,
+            "block 9's plan went stale: {} replans",
+            d.service_phase_wall().plan_replans
+        );
+        // The replanned service still landed the freshly faulted page,
+        // and not the evicted batch-start residency.
+        assert!(d.space().block(VaBlockIdx(9)).resident.get(1));
+        assert!(!d.space().block(VaBlockIdx(9)).resident.get(0));
+    }
+
+    #[test]
+    fn drop_flushes_phase_wall_to_global_totals() {
+        let cfg = DriverConfig {
+            gpu_memory_bytes: 64 * MIB,
+            service_workers: 2,
+            ..DriverConfig::default()
+        };
+        let mut d = driver_with(cfg, 8 * VABLOCK_SIZE);
+        let mut buf = FaultBuffer::new(FaultBufferConfig::default());
+        // 8 distinct blocks ≥ MIN_PARALLEL_GROUPS, so the batch goes
+        // through the pool and counts as planned groups.
+        for b in 0..8u64 {
+            push_fault(&mut buf, b * 512, false, 0);
+        }
+        d.process_pass(&mut buf, now());
+        assert_eq!(d.service_phase_wall().planned_groups, 8);
+        assert_eq!(d.service_phase_wall().parallel_batches, 1);
+        assert_eq!(d.service_workers(), 2);
+        drop(d);
+        let g = metrics::phase::take();
+        assert!(g.planned_groups >= 8, "drop published the accumulator");
+        assert!(g.workers >= 2);
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub mod lru;
 pub mod pma;
 pub mod policy;
 pub mod prefetch;
+pub(crate) mod service;
 pub mod thrash;
 
 pub use address_space::{ManagedSpace, VaBlockState, VaRange};

@@ -38,7 +38,26 @@ fn nodes_at(level: usize) -> usize {
     PAGES_PER_VABLOCK >> level
 }
 
+impl Default for DensityTree {
+    fn default() -> Self {
+        DensityTree::new_empty()
+    }
+}
+
 impl DensityTree {
+    /// Incremental-vs-rebuild crossover for [`Self::add_mask`]: the
+    /// leaf-to-root path walk costs ~(levels+1) dependent increments per
+    /// added page, so past this many pages the flat 1023-count rebuild
+    /// from the occupancy mask (word-popcount leaves, level sums) wins.
+    pub const DENSE_REBUILD_CUTOFF: usize = 64;
+
+    /// The tree of `PageMask::EMPTY`: every count zero.
+    pub fn new_empty() -> Self {
+        DensityTree {
+            counts: [0u16; NUM_NODES],
+        }
+    }
+
     /// Build the tree from an occupancy mask (resident ∪ faulted ∪
     /// prefetch-flagged pages).
     pub fn from_mask(mask: &PageMask) -> Self {
@@ -123,6 +142,51 @@ impl DensityTree {
             self.counts[level_offset(l) + a] += delta;
             a >>= 1;
         }
+    }
+
+    /// Reset every count to zero (the block's pages all left the GPU —
+    /// eviction or migration back to the host).
+    pub fn clear(&mut self) {
+        self.counts = [0u16; NUM_NODES];
+    }
+
+    /// The occupancy mask the leaf counts encode (inverse of
+    /// [`Self::from_mask`]).
+    pub fn to_mask(&self) -> PageMask {
+        let mut mask = PageMask::EMPTY;
+        for (leaf, &c) in self.counts[..PAGES_PER_VABLOCK].iter().enumerate() {
+            if c != 0 {
+                mask.set(leaf);
+            }
+        }
+        mask
+    }
+
+    /// Incrementally mark the leaves of `added` occupied: each newly
+    /// occupied page increments only its leaf-to-root path (10 counts)
+    /// instead of rebuilding all 1023 node counts. Equivalent to
+    /// `from_mask(old ∪ added)` when the tree currently holds
+    /// `from_mask(old)` and `added` is disjoint from `old`.
+    pub fn add_mask(&mut self, added: &PageMask) {
+        if added.count() > Self::DENSE_REBUILD_CUTOFF {
+            let mut occupancy = self.to_mask();
+            occupancy.or_with(added);
+            *self = Self::from_mask(&occupancy);
+            return;
+        }
+        added.for_each_set_word(|wi, bits| {
+            let mut b = bits;
+            while b != 0 {
+                let leaf = wi * 64 + b.trailing_zeros() as usize;
+                b &= b - 1;
+                debug_assert_eq!(self.counts[leaf], 0, "leaf {leaf} already occupied");
+                let mut idx = leaf;
+                for level in 0..=PREFETCH_TREE_LEVELS {
+                    self.counts[level_offset(level) + idx] += 1;
+                    idx >>= 1;
+                }
+            }
+        });
     }
 
     /// Root count (total occupied leaves).
@@ -247,6 +311,37 @@ mod tests {
         }
         let t = DensityTree::from_mask(&m);
         assert_eq!(t.region_for(261, 51), (9, 0), "262/512 > 51%");
+    }
+
+    #[test]
+    fn incremental_add_matches_rebuild() {
+        let resident = mask_of(&[0, 1, 2, 3, 100, 511]);
+        let mut tree = DensityTree::new_empty();
+        tree.add_mask(&resident);
+        assert_eq!(tree, DensityTree::from_mask(&resident));
+
+        // Add a disjoint batch of pages on top.
+        let added = mask_of(&[4, 5, 63, 64, 200, 300]);
+        tree.add_mask(&added);
+        assert_eq!(tree, DensityTree::from_mask(&resident.union(&added)));
+    }
+
+    #[test]
+    fn clear_resets_to_empty() {
+        let mut tree = DensityTree::from_mask(&mask_of(&[7, 8, 9]));
+        tree.clear();
+        assert_eq!(tree, DensityTree::new_empty());
+        assert_eq!(tree, DensityTree::default());
+        assert_eq!(tree.total(), 0);
+    }
+
+    #[test]
+    fn add_after_clear_rebuilds_exactly() {
+        let mut tree = DensityTree::from_mask(&PageMask::FULL);
+        tree.clear();
+        let m = mask_of(&[10, 20, 30]);
+        tree.add_mask(&m);
+        assert_eq!(tree, DensityTree::from_mask(&m));
     }
 
     #[test]

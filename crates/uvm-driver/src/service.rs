@@ -1,0 +1,447 @@
+//! The parallel half of batch service: per-VABlock service-window
+//! *planning*, fanned out over a persistent bounded worker pool.
+//!
+//! A pass splits into a serial front half (fetch/sort/group, replay
+//! policy, and the ordered commit walk that owns the PMA, LRU, RNG and
+//! eviction) and a planning half that computes each fault group's
+//! [`ServicePlan`] — faulted/prefetch masks, density-tree resolution,
+//! allocation-unit scan, per-page migration/zero/map costs — from a
+//! read-only snapshot of block state. Planning is pure: plans land in
+//! disjoint output slots indexed by group, and the commit half reduces
+//! them in sorted VABlock order, so timers, spans, counters, RNG draws
+//! and traces are bit-identical for every worker count.
+//!
+//! Workers are long-lived OS threads parked on a condvar between passes
+//! (spawning per batch would dwarf the work); each owns a reusable
+//! [`DensityTree`] scratch, keeping the steady state allocation-free.
+//! Plans are validated at commit time against the block's
+//! `eviction_count`: if an earlier group's eviction perturbed the block,
+//! the committer re-plans that one group serially against current state.
+
+use crate::address_space::ManagedSpace;
+use crate::batch::FaultGroup;
+use crate::prefetch::{compute_prefetch_seeded, DensityTree, ResolvedPrefetch};
+use gpu_model::{PageMask, ServicePlan};
+use sim_engine::units::PAGES_PER_VABLOCK;
+use sim_engine::CostModel;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Below this many groups a pass plans inline on the driver thread even
+/// when workers exist: waking the pool costs more than the plans.
+pub(crate) const MIN_PARALLEL_GROUPS: usize = 8;
+
+/// Compute one fault group's service plan from the current (snapshot)
+/// state of its block. Pure with respect to the driver: reads `space` and
+/// the block's persistent density tree, writes only `plan` and `scratch`.
+pub(crate) fn plan_group(
+    space: &ManagedSpace,
+    trees: &[DensityTree],
+    policy: ResolvedPrefetch,
+    cost: &CostModel,
+    granularity: usize,
+    group: &FaultGroup,
+    scratch: &mut DensityTree,
+    plan: &mut ServicePlan,
+) {
+    let vb = group.block;
+    let st = space.block(vb);
+    let (valid, resident, backed) = (st.valid, st.resident, st.backed);
+    // Slots are reused across batches without re-initialisation, so every
+    // field the commit half can read is (re)written here. A noop plan
+    // only needs `faulted` (what `is_noop` checks) and the epoch — the
+    // commit half reads nothing else from it.
+    plan.eviction_epoch = st.eviction_count;
+    plan.faulted = group.fault_mask.intersect(&valid).difference(&resident);
+    if plan.faulted.is_empty() {
+        return;
+    }
+    plan.prefetch = compute_prefetch_seeded(
+        policy,
+        &resident,
+        &plan.faulted,
+        &valid,
+        &trees[vb.0 as usize],
+        scratch,
+    );
+    plan.to_migrate = plan.faulted.union(&plan.prefetch);
+    plan.units_to_back = PageMask::EMPTY;
+    for (unit, unit_start) in (0..PAGES_PER_VABLOCK).step_by(granularity).enumerate() {
+        if plan.to_migrate.count_range(unit_start, granularity) > 0
+            && backed.count_range(unit_start, granularity) == 0
+        {
+            plan.units_to_back.set(unit);
+        }
+    }
+    plan.pages = plan.to_migrate.count() as u64;
+    plan.zero_cost = cost.page_zero(granularity as u64);
+    plan.migrate_cost = cost.migrate_h2d(plan.pages);
+    plan.map_cost = cost.map_pages(plan.pages) + cost.lru_update();
+}
+
+/// Borrowed inputs of one pass's planning phase.
+pub(crate) struct PlanRequest<'a> {
+    pub space: &'a ManagedSpace,
+    pub trees: &'a [DensityTree],
+    pub policy: ResolvedPrefetch,
+    pub cost: &'a CostModel,
+    pub granularity: usize,
+    pub groups: &'a [FaultGroup],
+}
+
+/// The lifetime-erased job the pool threads execute. Lives on the
+/// dispatching thread's stack for the duration of `plan_all`, which does
+/// not return until every worker has bumped `done` — the pointers never
+/// dangle.
+struct JobCtx {
+    space: *const ManagedSpace,
+    trees: *const DensityTree,
+    trees_len: usize,
+    policy: ResolvedPrefetch,
+    cost: *const CostModel,
+    granularity: usize,
+    groups: *const FaultGroup,
+    plans: *mut ServicePlan,
+    len: usize,
+    /// Next unclaimed group index.
+    next: AtomicUsize,
+    /// Planning nanoseconds summed over participants (utilisation).
+    busy_ns: AtomicU64,
+    panicked: AtomicBool,
+}
+
+/// Claim and plan groups until the shared index runs out.
+///
+/// # Safety
+/// `ctx` must point to a live `JobCtx` whose borrowed pointers outlive
+/// the call, and every claimed index yields exclusive access to its
+/// `plans` slot (guaranteed by the `fetch_add` claim protocol).
+unsafe fn run_claims(ctx: *const JobCtx, scratch: &mut DensityTree) {
+    let ctx = unsafe { &*ctx };
+    let t0 = Instant::now();
+    let space = unsafe { &*ctx.space };
+    let trees = unsafe { std::slice::from_raw_parts(ctx.trees, ctx.trees_len) };
+    let cost = unsafe { &*ctx.cost };
+    let groups = unsafe { std::slice::from_raw_parts(ctx.groups, ctx.len) };
+    loop {
+        let i = ctx.next.fetch_add(1, Ordering::Relaxed);
+        if i >= ctx.len {
+            break;
+        }
+        let plan = unsafe { &mut *ctx.plans.add(i) };
+        plan_group(
+            space,
+            trees,
+            ctx.policy,
+            cost,
+            ctx.granularity,
+            &groups[i],
+            scratch,
+            plan,
+        );
+    }
+    ctx.busy_ns
+        .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+}
+
+/// A published job: a raw pointer to the dispatcher's `JobCtx`.
+#[derive(Clone, Copy)]
+struct Job(*const JobCtx);
+// SAFETY: the dispatcher blocks until every worker finishes the job, so
+// the pointed-to context (and everything it borrows) stays alive and the
+// claim protocol hands each index to exactly one thread.
+unsafe impl Send for Job {}
+
+struct PoolState {
+    epoch: u64,
+    job: Option<Job>,
+    done: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+}
+
+/// Persistent planning pool: `workers` total participants (the driver
+/// thread counts as one), so `workers - 1` parked OS threads.
+pub(crate) struct ServicePool {
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+    workers: usize,
+}
+
+impl std::fmt::Debug for ServicePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServicePool")
+            .field("workers", &self.workers)
+            .finish()
+    }
+}
+
+impl ServicePool {
+    /// A pool of `workers` total participants (clamped to ≥ 1).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState {
+                epoch: 0,
+                job: None,
+                done: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let threads = (1..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        ServicePool {
+            shared,
+            threads,
+            workers,
+        }
+    }
+
+    /// Total participants (1 = serial, no pool threads).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Fill `plans[i]` for every group of `req`, in disjoint slots.
+    /// Returns `(busy_ns, ran_parallel)`: summed participant planning
+    /// time and whether the pool was woken. Output is independent of the
+    /// worker count; only wall time changes.
+    pub fn plan_all(
+        &self,
+        req: &PlanRequest<'_>,
+        plans: &mut [ServicePlan],
+        scratch: &mut DensityTree,
+    ) -> (u64, bool) {
+        assert_eq!(req.groups.len(), plans.len());
+        let ctx = JobCtx {
+            space: req.space,
+            trees: req.trees.as_ptr(),
+            trees_len: req.trees.len(),
+            policy: req.policy,
+            cost: req.cost,
+            granularity: req.granularity,
+            groups: req.groups.as_ptr(),
+            plans: plans.as_mut_ptr(),
+            len: req.groups.len(),
+            next: AtomicUsize::new(0),
+            busy_ns: AtomicU64::new(0),
+            panicked: AtomicBool::new(false),
+        };
+        let parallel = self.workers > 1 && ctx.len >= MIN_PARALLEL_GROUPS;
+        if parallel {
+            {
+                let mut st = self.shared.state.lock().unwrap();
+                st.job = Some(Job(&ctx));
+                st.epoch += 1;
+                st.done = 0;
+            }
+            self.shared.work_cv.notify_all();
+        }
+        // The driver thread always participates.
+        unsafe { run_claims(&ctx, scratch) };
+        if parallel {
+            let mut st = self.shared.state.lock().unwrap();
+            while st.done < self.workers - 1 {
+                st = self.shared.done_cv.wait(st).unwrap();
+            }
+            st.job = None;
+            drop(st);
+            if ctx.panicked.load(Ordering::Relaxed) {
+                panic!("service worker panicked while planning a batch");
+            }
+        }
+        (ctx.busy_ns.load(Ordering::Relaxed), parallel)
+    }
+}
+
+impl Drop for ServicePool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut scratch = DensityTree::new_empty();
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen_epoch {
+                    if let Some(job) = st.job {
+                        seen_epoch = st.epoch;
+                        break job;
+                    }
+                }
+                st = shared.work_cv.wait(st).unwrap();
+            }
+        };
+        let res = catch_unwind(AssertUnwindSafe(|| unsafe {
+            run_claims(job.0, &mut scratch)
+        }));
+        if res.is_err() {
+            // Record and keep the protocol alive: the dispatcher re-panics.
+            unsafe { &*job.0 }.panicked.store(true, Ordering::Relaxed);
+        }
+        let mut st = shared.state.lock().unwrap();
+        st.done += 1;
+        drop(st);
+        // Wake the dispatcher; it re-checks the exact count itself.
+        shared.done_cv.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_model::{PageMask, VaBlockIdx};
+    use sim_engine::units::VABLOCK_SIZE;
+
+    fn fixture(blocks: u64) -> (ManagedSpace, Vec<DensityTree>, CostModel) {
+        let mut space = ManagedSpace::new();
+        space.alloc(blocks * VABLOCK_SIZE, "plan");
+        let trees = vec![DensityTree::new_empty(); space.num_blocks()];
+        (space, trees, CostModel::default())
+    }
+
+    fn group_of(block: u64, pages: &[usize]) -> FaultGroup {
+        let mut fault_mask = PageMask::EMPTY;
+        for &p in pages {
+            fault_mask.set(p);
+        }
+        FaultGroup {
+            block: VaBlockIdx(block),
+            fault_mask,
+            write_mask: PageMask::EMPTY,
+            num_entries: pages.len() as u64,
+        }
+    }
+
+    #[test]
+    fn plan_matches_block_state() {
+        let (mut space, mut trees, cost) = fixture(4);
+        // Page 5 already resident: only page 6 faults, whole block unbacked.
+        space.block_mut(VaBlockIdx(1)).resident.set(5);
+        space.block_mut(VaBlockIdx(1)).backed.set(5);
+        space.sync_block_residency(VaBlockIdx(1));
+        trees[1].add_mask(&space.block(VaBlockIdx(1)).resident);
+        let group = group_of(1, &[5, 6]);
+        let mut scratch = DensityTree::new_empty();
+        let mut plan = ServicePlan::default();
+        plan_group(
+            &space,
+            &trees,
+            ResolvedPrefetch::Disabled,
+            &cost,
+            16,
+            &group,
+            &mut scratch,
+            &mut plan,
+        );
+        assert!(plan.faulted.get(6) && !plan.faulted.get(5));
+        assert_eq!(plan.pages, 1);
+        // Unit 0 (pages 0..16) holds both the fault and the already-backed
+        // page 5 — no fresh backing needed for it.
+        assert!(plan.units_to_back.is_empty());
+        assert_eq!(plan.eviction_epoch, 0);
+    }
+
+    #[test]
+    fn pool_fills_all_slots_any_worker_count() {
+        let (space, trees, cost) = fixture(8);
+        let groups: Vec<FaultGroup> = (0..8).map(|b| group_of(b, &[(b as usize) * 3])).collect();
+        let mut golden: Option<Vec<ServicePlan>> = None;
+        for workers in [1usize, 4] {
+            let pool = ServicePool::new(workers);
+            let mut plans = vec![ServicePlan::default(); groups.len()];
+            let mut scratch = DensityTree::new_empty();
+            let req = PlanRequest {
+                space: &space,
+                trees: &trees,
+                policy: ResolvedPrefetch::Density {
+                    threshold: 51,
+                    big_pages: true,
+                },
+                cost: &cost,
+                granularity: PAGES_PER_VABLOCK,
+                groups: &groups,
+            };
+            let (busy, parallel) = pool.plan_all(&req, &mut plans, &mut scratch);
+            assert!(busy > 0 || groups.is_empty());
+            assert_eq!(parallel, workers > 1 && groups.len() >= MIN_PARALLEL_GROUPS);
+            for (i, p) in plans.iter().enumerate() {
+                assert!(p.faulted.get(i * 3), "slot {i} planned");
+                assert_eq!(p.pages, p.to_migrate.count() as u64);
+            }
+            match &golden {
+                None => golden = Some(plans),
+                Some(g) => assert_eq!(g, &plans, "{workers} workers diverged"),
+            }
+        }
+    }
+
+    #[test]
+    fn small_batches_stay_inline() {
+        let (space, trees, cost) = fixture(2);
+        let groups = vec![group_of(0, &[1])];
+        let pool = ServicePool::new(4);
+        let mut plans = vec![ServicePlan::default(); 1];
+        let mut scratch = DensityTree::new_empty();
+        let req = PlanRequest {
+            space: &space,
+            trees: &trees,
+            policy: ResolvedPrefetch::Disabled,
+            cost: &cost,
+            granularity: PAGES_PER_VABLOCK,
+            groups: &groups,
+        };
+        let (_, parallel) = pool.plan_all(&req, &mut plans, &mut scratch);
+        assert!(!parallel, "one group never wakes the pool");
+        assert!(plans[0].faulted.get(1));
+    }
+
+    #[test]
+    fn pool_survives_many_epochs() {
+        let (space, trees, cost) = fixture(16);
+        let groups: Vec<FaultGroup> = (0..16).map(|b| group_of(b, &[0, 1, 2])).collect();
+        let pool = ServicePool::new(3);
+        let mut scratch = DensityTree::new_empty();
+        for _ in 0..50 {
+            let mut plans = vec![ServicePlan::default(); groups.len()];
+            let req = PlanRequest {
+                space: &space,
+                trees: &trees,
+                policy: ResolvedPrefetch::Disabled,
+                cost: &cost,
+                granularity: PAGES_PER_VABLOCK,
+                groups: &groups,
+            };
+            pool.plan_all(&req, &mut plans, &mut scratch);
+            assert!(plans.iter().all(|p| p.pages == 3));
+        }
+    }
+}

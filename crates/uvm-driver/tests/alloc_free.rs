@@ -103,3 +103,68 @@ fn steady_state_batch_preprocessing_does_not_allocate() {
         "steady-state gather_into allocated {cleanest} times in every window"
     );
 }
+
+/// The same claim for the whole service path with the planning pool
+/// engaged: once the arena, plan vector and per-worker scratch trees are
+/// sized, a full pass — gather, parallel planning at 4 workers, ordered
+/// commit with evictions — must not touch the heap.
+#[test]
+fn steady_state_parallel_service_does_not_allocate() {
+    use sim_engine::units::VABLOCK_SIZE;
+    use sim_engine::{CostModel, SimRng};
+    use uvm_driver::{DriverConfig, UvmDriver};
+
+    let cfg = DriverConfig {
+        gpu_memory_bytes: 4 * VABLOCK_SIZE,
+        service_workers: 4,
+        ..DriverConfig::default()
+    };
+    let mut space = ManagedSpace::new();
+    space.alloc(16 * VABLOCK_SIZE, "svc");
+    let mut driver = UvmDriver::new(cfg, CostModel::default(), space, SimRng::from_seed(3));
+    let mut buffer = FaultBuffer::new(FaultBufferConfig::default());
+    let clock = SimTime::ZERO + SimDuration::from_millis(1);
+
+    // 12 faulting blocks per pass: enough groups to engage the pool, and
+    // 3× the GPU's capacity so evictions (and stale-plan replans) churn
+    // every pass — the thrash steady state.
+    let fill = |buffer: &mut FaultBuffer, round: u64| {
+        for b in 0..12u64 {
+            buffer.push(FaultEntry {
+                page: GlobalPage(b * 512 + (round * 13) % 512),
+                access: if b % 3 == 0 {
+                    AccessType::Write
+                } else {
+                    AccessType::Read
+                },
+                timestamp: SimTime::ZERO,
+                utlb: (b % 4) as u32,
+            });
+        }
+    };
+
+    for round in 0..16u64 {
+        fill(&mut buffer, round);
+        driver.process_pass(&mut buffer, clock);
+    }
+
+    let mut cleanest = u64::MAX;
+    for attempt in 0..10u64 {
+        let before = ALLOCS.load(Ordering::Relaxed);
+        for round in 0..40u64 {
+            fill(&mut buffer, 16 + attempt * 40 + round);
+            let r = driver.process_pass(&mut buffer, clock);
+            assert!(r.fetched > 0);
+        }
+        let after = ALLOCS.load(Ordering::Relaxed);
+        cleanest = cleanest.min(after - before);
+        if cleanest == 0 {
+            break;
+        }
+    }
+    assert_eq!(
+        cleanest, 0,
+        "steady-state parallel service allocated {cleanest} times in every window"
+    );
+    assert!(driver.counters().evictions > 0, "the scenario must thrash");
+}

@@ -84,6 +84,51 @@ proptest! {
         m.set_range(range.start, range.end - range.start);
         prop_assert_eq!(tree, DensityTree::from_mask(&m));
     }
+
+    #[test]
+    fn incremental_adds_match_rebuild(
+        chunks in proptest::collection::vec(
+            proptest::collection::vec(0usize..512, 0..64), 0..6),
+    ) {
+        // Feed arbitrary page sets in as disjoint incremental updates
+        // (each chunk minus everything already present), the way the
+        // driver's commit path maintains its persistent trees.
+        let mut tree = DensityTree::new_empty();
+        let mut accumulated = PageMask::EMPTY;
+        for chunk in &chunks {
+            let added = mask_from(chunk).difference(&accumulated);
+            tree.add_mask(&added);
+            accumulated = accumulated.union(&added);
+            prop_assert_eq!(&tree, &DensityTree::from_mask(&accumulated));
+        }
+        tree.clear();
+        prop_assert_eq!(&tree, &DensityTree::new_empty());
+        // Rebuild after clear (the eviction → refault cycle).
+        tree.add_mask(&accumulated);
+        prop_assert_eq!(&tree, &DensityTree::from_mask(&accumulated));
+    }
+
+    #[test]
+    fn seeded_prefetch_matches_plain(
+        resident_idx in proptest::collection::vec(0usize..512, 0..200),
+        faulted_idx in proptest::collection::vec(0usize..512, 0..64),
+        threshold in 1u8..=100,
+        big_pages in any::<bool>(),
+    ) {
+        // Model the driver's state relations: faulted is valid and
+        // non-resident; the persistent tree mirrors resident exactly.
+        let valid = PageMask::FULL;
+        let resident = mask_from(&resident_idx);
+        let faulted = mask_from(&faulted_idx).difference(&resident);
+        let tree = DensityTree::from_mask(&resident);
+        let mut scratch = DensityTree::new_empty();
+        let policy = ResolvedPrefetch::Density { threshold, big_pages };
+        let plain = compute_prefetch(policy, &resident, &faulted, &valid);
+        let seeded = uvm_driver::prefetch::compute_prefetch_seeded(
+            policy, &resident, &faulted, &valid, &tree, &mut scratch,
+        );
+        prop_assert_eq!(plain, seeded);
+    }
 }
 
 // ---------- Big-page upgrade ----------

@@ -1,0 +1,93 @@
+//! Property: the service-worker count is simulation-invisible. For
+//! arbitrary multi-batch fault sequences — including memory pressure that
+//! forces evictions and stale-plan replans — a driver run at
+//! `service_workers = 1` and one at `= 4` must produce identical timers,
+//! counters, pass results, replay decisions and final residency. Only
+//! host wall time may differ.
+
+use gpu_model::{AccessType, FaultBuffer, FaultBufferConfig, FaultEntry, GlobalPage, VaBlockIdx};
+use proptest::prelude::*;
+use sim_engine::units::VABLOCK_SIZE;
+use sim_engine::{CostModel, SimRng, SimTime};
+use uvm_driver::{DriverConfig, ManagedSpace, PassResult, UvmDriver};
+
+const BLOCKS: u64 = 12;
+
+/// One generated fault: (block, page offset, write?).
+type Fault = (u64, usize, bool);
+
+/// Decode a raw seed into a fault (the vendored proptest has no tuple
+/// strategies, so batches are vectors of u64 seeds).
+fn decode(seed: u64) -> Fault {
+    (seed % BLOCKS, ((seed >> 8) % 512) as usize, seed & 1 == 1)
+}
+
+fn arb_batches() -> impl Strategy<Value = Vec<Vec<u64>>> {
+    proptest::collection::vec(proptest::collection::vec(any::<u64>(), 1..40), 1..12)
+}
+
+fn run_driver(
+    batches: &[Vec<u64>],
+    workers: usize,
+    gpu_blocks: u64,
+    prefetch_on: bool,
+) -> (Vec<PassResult>, metrics::Timers, metrics::Counters, Vec<u64>) {
+    let cfg = DriverConfig {
+        gpu_memory_bytes: gpu_blocks * VABLOCK_SIZE,
+        service_workers: workers,
+        prefetch: if prefetch_on {
+            uvm_driver::PrefetchPolicy::default()
+        } else {
+            uvm_driver::PrefetchPolicy::Disabled
+        },
+        ..DriverConfig::default()
+    };
+    let mut space = ManagedSpace::new();
+    space.alloc(BLOCKS * VABLOCK_SIZE, "equiv");
+    let mut driver = UvmDriver::new(cfg, CostModel::default(), space, SimRng::from_seed(11));
+    let mut buffer = FaultBuffer::new(FaultBufferConfig::default());
+    let mut clock = SimTime::ZERO;
+    let mut results = Vec::new();
+    for (round, batch) in batches.iter().enumerate() {
+        for (block, off, write) in batch.iter().map(|&s| decode(s)) {
+            buffer.push(FaultEntry {
+                page: GlobalPage(block * 512 + off as u64),
+                access: if write {
+                    AccessType::Write
+                } else {
+                    AccessType::Read
+                },
+                timestamp: SimTime::ZERO,
+                utlb: (round % 4) as u32,
+            });
+        }
+        let r = driver.process_pass(&mut buffer, clock);
+        clock += r.time;
+        results.push(r);
+    }
+    let residency: Vec<u64> = (0..BLOCKS)
+        .map(|b| {
+            let st = driver.space().block(VaBlockIdx(b));
+            st.resident.count() as u64 + ((st.eviction_count as u64) << 32)
+        })
+        .collect();
+    (results, *driver.timers(), *driver.counters(), residency)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn worker_count_is_simulation_invisible(
+        batches in arb_batches(),
+        gpu_blocks in 2u64..=BLOCKS,
+        prefetch_on in any::<bool>(),
+    ) {
+        let serial = run_driver(&batches, 1, gpu_blocks, prefetch_on);
+        let parallel = run_driver(&batches, 4, gpu_blocks, prefetch_on);
+        prop_assert_eq!(&serial.0, &parallel.0, "pass results diverged");
+        prop_assert_eq!(&serial.1, &parallel.1, "timers diverged");
+        prop_assert_eq!(&serial.2, &parallel.2, "counters diverged");
+        prop_assert_eq!(&serial.3, &parallel.3, "residency diverged");
+    }
+}

@@ -124,6 +124,17 @@ pub fn run(config: &SimConfig, workload: &Workload) -> SimReport {
     run_prepared(config, &prepare(config, workload))
 }
 
+/// Resolve `driver.service_workers == 0` (auto) to the rayon pool size,
+/// so intra-point planning parallelism defaults to the same width as
+/// point-level sweep parallelism. Simulated output does not depend on the
+/// resolved value — only host wall time does.
+fn resolve_service_workers(mut driver: uvm_driver::DriverConfig) -> uvm_driver::DriverConfig {
+    if driver.service_workers == 0 {
+        driver.service_workers = rayon::current_num_threads().max(1);
+    }
+    driver
+}
+
 /// Run a [`prepare`]d workload under `config` and report. Equivalent to
 /// [`run`] — bit-identical results — minus the trace generation.
 pub fn run_prepared(config: &SimConfig, prepared: &PreparedWorkload) -> SimReport {
@@ -138,7 +149,12 @@ pub fn run_prepared(config: &SimConfig, prepared: &PreparedWorkload) -> SimRepor
     let footprint_bytes = space.ranges().iter().map(|r| r.num_pages).sum::<u64>() * PAGE_SIZE;
     let subscription_ratio = footprint_bytes as f64 / config.driver.gpu_memory_bytes as f64;
 
-    let mut driver = UvmDriver::new(config.driver.clone(), cost.clone(), space, root.derive(2));
+    let mut driver = UvmDriver::new(
+        resolve_service_workers(config.driver.clone()),
+        cost.clone(),
+        space,
+        root.derive(2),
+    );
     let mut engine = GpuEngine::launch(config.gpu.clone(), Arc::clone(&prepared.trace), root.derive(3));
     let mut buffer = FaultBuffer::new(config.fault_buffer.clone());
 
@@ -315,7 +331,12 @@ pub fn run_repeated(config: &SimConfig, workload: &Workload, launches: u32) -> V
 
     let mut space = ManagedSpace::new();
     let trace = Arc::new(workload.generate(&mut space, &mut root.derive(1)));
-    let mut driver = UvmDriver::new(config.driver.clone(), cost.clone(), space, root.derive(2));
+    let mut driver = UvmDriver::new(
+        resolve_service_workers(config.driver.clone()),
+        cost.clone(),
+        space,
+        root.derive(2),
+    );
     let mut buffer = FaultBuffer::new(config.fault_buffer.clone());
 
     let mut out = Vec::with_capacity(launches as usize);
