@@ -2,11 +2,20 @@
 # CI gates.
 #
 #   ./ci.sh            per-push gate: build, full test suite, quick-scale
-#                      end-to-end repro (~1 min on one core)
+#                      end-to-end repro (~1 min on one core), and a traced
+#                      + telemetry-sampled fig1 with the schema and
+#                      check-metrics gates
 #   ./ci.sh nightly    full-scale gate: `repro all --scale 1` (12 GB
 #                      simulated GPU, hours on one core), traced fig1 at
-#                      full scale with the schema gate, and bench-append
-#                      trend recording into nightly-out/
+#                      full scale with the schema gate, trend recording
+#                      into nightly-out/, and the perf-regression gate
+#                      (`repro regress`) over the accumulated trend —
+#                      exits non-zero when a headline metric regressed.
+#
+# Run nightly from cron (the trend file accumulates across nights, so the
+# regression baseline grows), e.g.:
+#
+#   7 2 * * * cd /path/to/repo && ./ci.sh nightly >> nightly-out/nightly.log 2>&1
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -23,20 +32,23 @@ push)
     echo "== repro all --scale 128 (quick-scale end-to-end) =="
     ./target/release/repro all --scale 128 --json --out ci-out
 
-    echo "== repro fig1 --scale 16 --trace-out (traced run + schema gate) =="
+    echo "== repro fig1 --scale 16 --trace-out --metrics-out (traced+sampled run) =="
     t0=$(date +%s.%N)
     ./target/release/repro fig1 --scale 16 --no-progress --trace-cap 8192 \
-        --trace-out ci-out/trace.json
+        --trace-out ci-out/trace.json --metrics-out ci-out/metrics
     t1=$(date +%s.%N)
     ./target/release/repro check-trace ci-out/trace.json
+    ./target/release/repro check-metrics ci-out/metrics
     ./target/release/repro bench-append ci-out/BENCH_hotpaths.json \
         fig1_scale16_traced "$(echo "$t1 $t0" | awk '{printf "%.3f", $1 - $2}')"
     ;;
 nightly)
-    echo "== repro all --scale 1 (full-scale end-to-end) =="
+    echo "== repro all --scale 1 (full-scale end-to-end, telemetry-sampled) =="
     t0=$(date +%s.%N)
-    ./target/release/repro all --scale 1 --json --no-progress --out nightly-out
+    ./target/release/repro all --scale 1 --json --no-progress --out nightly-out \
+        --metrics-out nightly-out/metrics
     t1=$(date +%s.%N)
+    ./target/release/repro check-metrics nightly-out/metrics
     ./target/release/repro bench-append nightly-out/BENCH_hotpaths.json \
         all_scale1 "$(echo "$t1 $t0" | awk '{printf "%.3f", $1 - $2}')"
 
@@ -48,6 +60,16 @@ nightly)
     ./target/release/repro check-trace nightly-out/trace.json
     ./target/release/repro bench-append nightly-out/BENCH_hotpaths.json \
         fig1_scale1_traced "$(echo "$t1 $t0" | awk '{printf "%.3f", $1 - $2}')"
+
+    echo "== perf-regression gate over the nightly trend =="
+    # The trend file persists across nights (it lives outside the per-run
+    # report): import tonight's headline metrics, then gate the newest
+    # entry of every series against the median of its history.
+    ./target/release/repro trend-import nightly-out/ci_trend.json \
+        nightly-out/BENCH_hotpaths.json fig1
+    ./target/release/repro trend-import nightly-out/ci_trend.json \
+        nightly-out/BENCH_hotpaths.json table2
+    ./target/release/repro regress nightly-out/ci_trend.json
     ;;
 *)
     echo "ci.sh: unknown target '$target' (expected nothing or 'nightly')" >&2

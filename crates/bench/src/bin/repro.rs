@@ -3,17 +3,40 @@
 //! ```text
 //! repro <experiment> [--scale <denominator>] [--out <dir>] [--json] [--threads <n>]
 //!                    [--service-workers <n>] [--trace-out <file>] [--trace-cap <events>]
+//!                    [--metrics-out <dir>] [--metrics-interval <sim-ns>]
 //!                    [--progress|--no-progress]
 //! repro all
 //! repro list
 //! repro check-trace <file>
 //! repro bench-append <file> <name> <wall_seconds>
+//! repro report <metrics-dir>
+//! repro regress <trend-file> [--threshold <frac>] [--min-runs <n>]
+//! repro check-metrics <metrics-dir>
+//! repro trend-import <trend-file> <bench-json> <experiment>
 //! ```
 //!
 //! `--json` additionally writes each experiment's table as
 //! `<out>/<experiment>.json` for downstream tooling, plus a
 //! `<out>/BENCH_hotpaths.json` wall-time/throughput report (simulated
-//! faults/sec and warp-steps/sec per experiment).
+//! faults/sec and warp-steps/sec per experiment). The report is rewritten
+//! after *every* experiment, so a partial `repro all` run still leaves the
+//! completed experiments' telemetry on disk.
+//!
+//! `--metrics-out <dir>` samples every run's driver counters on a
+//! simulated-time grid (`--metrics-interval`, default 500 µs of sim time;
+//! the bounded sample buffer compacts in place, doubling the interval,
+//! rather than dropping the tail). Per experiment it writes one sample CSV
+//! per sweep point plus `metrics.prom`, a Prometheus text exposition of
+//! the end-of-run totals labelled by workload/ratio/policy. Sampling is
+//! driven by the virtual clock, so the streams are bit-identical for any
+//! `--threads`/`--service-workers` value. `repro report <dir>` re-renders
+//! the CSVs as per-run cost decompositions (Figs. 8–10 shapes);
+//! `repro check-metrics <dir>` re-validates every artefact. `repro
+//! regress <trend-file>` compares the newest `ci_trend` entry of each
+//! series against the median of its history and exits nonzero on a
+//! regression beyond `--threshold` (default 20%); `repro trend-import`
+//! appends one experiment's perf record from a `BENCH_hotpaths.json` to
+//! the trend file, which is how the nightly job grows the baseline.
 //!
 //! `--trace-out trace.json` records batch-lifecycle spans and per-page
 //! fault events during every sweep and writes a combined
@@ -91,9 +114,14 @@ fn usage() -> ! {
     eprintln!(
         "usage: repro <experiment|all|list> [--scale <denominator>] [--out <dir>] \
          [--json] [--threads <n>] [--service-workers <n>] [--trace-out <file>] \
-         [--trace-cap <events>] [--progress|--no-progress]\n\
+         [--trace-cap <events>] [--metrics-out <dir>] [--metrics-interval <sim-ns>] \
+         [--progress|--no-progress]\n\
          \x20      repro check-trace <file>\n\
-         \x20      repro bench-append <file> <name> <wall_seconds>"
+         \x20      repro bench-append <file> <name> <wall_seconds>\n\
+         \x20      repro report <metrics-dir>\n\
+         \x20      repro regress <trend-file> [--threshold <frac>] [--min-runs <n>]\n\
+         \x20      repro check-metrics <metrics-dir>\n\
+         \x20      repro trend-import <trend-file> <bench-json> <experiment>"
     );
     eprintln!("experiments:");
     for (name, _) in EXPERIMENTS {
@@ -177,8 +205,244 @@ fn cmd_bench_append(path: &str, name: &str, wall_seconds: f64) -> ! {
     std::process::exit(0);
 }
 
+/// Recursively collect files under `dir` with the given extension,
+/// sorted by path for deterministic output.
+fn walk_files(dir: &std::path::Path, ext: &str) -> Vec<PathBuf> {
+    let mut found = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&d) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == ext) {
+                found.push(path);
+            }
+        }
+    }
+    found.sort();
+    found
+}
+
+/// `repro report <metrics-dir>`: re-read every sample CSV a
+/// `--metrics-out` run wrote and render the per-run cost decompositions.
+fn cmd_report(dir: &str) -> ! {
+    let root = PathBuf::from(dir);
+    let csvs = walk_files(&root, "csv");
+    if csvs.is_empty() {
+        eprintln!("error: no sample CSVs under {dir} — run with --metrics-out first");
+        std::process::exit(1);
+    }
+    let mut files = Vec::with_capacity(csvs.len());
+    for path in &csvs {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: read {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        };
+        let name = path
+            .strip_prefix(&root)
+            .unwrap_or(path)
+            .with_extension("")
+            .display()
+            .to_string();
+        files.push((name, text));
+    }
+    match bench::metricsio::render_report(&files, 20) {
+        Ok(text) => {
+            out(&text);
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `repro check-metrics <metrics-dir>`: re-validate every metrics
+/// artefact a `--metrics-out` run wrote — sample CSVs against the column
+/// schema/monotonicity invariants, expositions against the Prometheus
+/// text format. Exits nonzero on any violation.
+fn cmd_check_metrics(dir: &str) -> ! {
+    let root = PathBuf::from(dir);
+    let csvs = walk_files(&root, "csv");
+    let proms = walk_files(&root, "prom");
+    if csvs.is_empty() && proms.is_empty() {
+        eprintln!("error: no metrics artefacts under {dir}");
+        std::process::exit(1);
+    }
+    let mut failures = 0usize;
+    let mut samples = 0usize;
+    for path in &csvs {
+        match std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|t| metrics::timeseries::validate_csv(&t))
+        {
+            Ok(stats) => samples += stats.rows,
+            Err(e) => {
+                eprintln!("FAIL {}: {e}", path.display());
+                failures += 1;
+            }
+        }
+    }
+    let mut series = 0usize;
+    for path in &proms {
+        match std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|t| metrics::exposition::validate(&t))
+        {
+            Ok(stats) => series += stats.samples,
+            Err(e) => {
+                eprintln!("FAIL {}: {e}", path.display());
+                failures += 1;
+            }
+        }
+    }
+    out(&format!(
+        "{dir}: {} sample CSV(s) ({samples} samples), {} exposition(s) ({series} series), \
+         {failures} failure(s)",
+        csvs.len(),
+        proms.len(),
+    ));
+    std::process::exit(if failures == 0 { 0 } else { 1 });
+}
+
+/// `repro regress <trend-file>`: gate on the `ci_trend` perf history.
+/// Exits 1 when any headline metric of any series regressed beyond the
+/// threshold, 2 on unusable input, 0 otherwise.
+fn cmd_regress(path: &str, threshold: f64, min_runs: usize) -> ! {
+    let body = match std::fs::read_to_string(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let root: Value = match serde_json::from_str(&body) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: parse {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let findings = match bench::metricsio::evaluate_trend(&root, threshold, min_runs) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    out(&bench::metricsio::render_findings(&findings, threshold));
+    let regressed: Vec<_> = findings.iter().filter(|f| f.regressed).collect();
+    if regressed.is_empty() {
+        out("regress: OK");
+        std::process::exit(0);
+    }
+    for f in &regressed {
+        eprintln!(
+            "regress: {}.{} went from {:.4} (median of {} runs) to {:.4} ({:+.1}%)",
+            f.name,
+            f.metric,
+            f.baseline,
+            f.history,
+            f.current,
+            f.delta_frac * 100.0
+        );
+    }
+    std::process::exit(1);
+}
+
+/// `repro trend-import <trend-file> <bench-json> <experiment>`: copy one
+/// experiment's perf record out of a `BENCH_hotpaths.json` report into
+/// the trend file's `ci_trend` array (the file is created when absent).
+/// This is how the nightly job appends a baseline entry without jq.
+fn cmd_trend_import(trend_path: &str, bench_path: &str, experiment: &str) -> ! {
+    let bench_body = match std::fs::read_to_string(bench_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: read {bench_path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let bench_root: Value = match serde_json::from_str(&bench_body) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: parse {bench_path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let Value::Map(bench_keys) = &bench_root else {
+        eprintln!("error: {bench_path}: top level is not a JSON object");
+        std::process::exit(1);
+    };
+    let Some((_, Value::Seq(experiments))) =
+        bench_keys.iter().find(|(k, _)| k == "experiments")
+    else {
+        eprintln!("error: {bench_path}: no experiments array");
+        std::process::exit(1);
+    };
+    let record = experiments.iter().find_map(|e| match e {
+        Value::Map(m)
+            if m.iter()
+                .any(|(k, v)| k == "name" && *v == Value::Str(experiment.to_string())) =>
+        {
+            Some(m)
+        }
+        _ => None,
+    });
+    let Some(record) = record else {
+        eprintln!("error: {bench_path}: no experiment named `{experiment}`");
+        std::process::exit(1);
+    };
+    // The headline series the regress gate understands, plus the name.
+    let keep = [
+        "name",
+        "wall_seconds",
+        "faults_per_sec",
+        "evictions_per_fault",
+        "coverage_pct",
+    ];
+    let entry = Value::Map(
+        record
+            .iter()
+            .filter(|(k, _)| keep.contains(&k.as_str()))
+            .cloned()
+            .collect(),
+    );
+    let trend_body = std::fs::read_to_string(trend_path).unwrap_or_else(|_| "{}".to_string());
+    let mut trend_root: Value = match serde_json::from_str(&trend_body) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: parse {trend_path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let Value::Map(trend_keys) = &mut trend_root else {
+        eprintln!("error: {trend_path}: top level is not a JSON object");
+        std::process::exit(1);
+    };
+    match trend_keys.iter_mut().find(|(k, _)| k == "ci_trend") {
+        Some((_, Value::Seq(trend))) => trend.push(entry),
+        Some((_, other)) => *other = Value::Seq(vec![entry]),
+        None => trend_keys.push(("ci_trend".to_string(), Value::Seq(vec![entry]))),
+    }
+    let rendered = serde_json::to_string_pretty(&trend_root).expect("re-serialize trend file");
+    if let Err(e) = std::fs::write(trend_path, rendered) {
+        eprintln!("error: write {trend_path}: {e}");
+        std::process::exit(1);
+    }
+    out(&format!("{trend_path}: ci_trend += {experiment} perf record"));
+    std::process::exit(0);
+}
+
 /// One experiment's row in the `BENCH_hotpaths.json` throughput report.
-#[derive(Serialize)]
+#[derive(Serialize, Clone)]
 struct ExperimentPerf {
     name: String,
     wall_seconds: f64,
@@ -188,6 +452,11 @@ struct ExperimentPerf {
     sim_warp_steps: u64,
     faults_per_sec: f64,
     warp_steps_per_sec: f64,
+    /// Pages evicted per driver-observed fault across the sweeps — the
+    /// paper's thrash headline, gated by `repro regress`.
+    evictions_per_fault: f64,
+    /// Prefetched share of all H2D page migrations, percent — also gated.
+    coverage_pct: f64,
     /// Host wall time the drivers spent in the serial front half of batch
     /// service (fetch/sort, replay policy, ordered commit).
     serial_front_ms: f64,
@@ -233,6 +502,44 @@ fn main() {
                 .unwrap_or_else(|| usage());
             cmd_bench_append(file, name, wall);
         }
+        "report" => cmd_report(args.get(1).map(String::as_str).unwrap_or_else(|| usage())),
+        "check-metrics" => {
+            cmd_check_metrics(args.get(1).map(String::as_str).unwrap_or_else(|| usage()))
+        }
+        "regress" => {
+            let file = args.get(1).unwrap_or_else(|| usage());
+            let mut threshold = 0.20f64;
+            let mut min_runs = 2usize;
+            let mut j = 2;
+            while j < args.len() {
+                match args[j].as_str() {
+                    "--threshold" => {
+                        j += 1;
+                        threshold = args
+                            .get(j)
+                            .and_then(|s| s.parse().ok())
+                            .filter(|t: &f64| t.is_finite() && *t > 0.0)
+                            .unwrap_or_else(|| usage());
+                    }
+                    "--min-runs" => {
+                        j += 1;
+                        min_runs = args
+                            .get(j)
+                            .and_then(|s| s.parse().ok())
+                            .unwrap_or_else(|| usage());
+                    }
+                    _ => usage(),
+                }
+                j += 1;
+            }
+            cmd_regress(file, threshold, min_runs);
+        }
+        "trend-import" => {
+            let trend = args.get(1).unwrap_or_else(|| usage());
+            let bench_json = args.get(2).unwrap_or_else(|| usage());
+            let experiment = args.get(3).unwrap_or_else(|| usage());
+            cmd_trend_import(trend, bench_json, experiment);
+        }
         _ => {}
     }
     let mut which = String::new();
@@ -243,6 +550,8 @@ fn main() {
     let mut service_workers = 0usize;
     let mut trace_out: Option<PathBuf> = None;
     let mut trace_cap = metrics::DEFAULT_SPAN_CAPACITY;
+    let mut metrics_out: Option<PathBuf> = None;
+    let mut metrics_interval = metrics::DEFAULT_SAMPLE_INTERVAL_NS;
     let mut progress: Option<bool> = None;
     let mut i = 0;
     while i < args.len() {
@@ -258,6 +567,22 @@ fn main() {
                     .get(i)
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage());
+            }
+            "--metrics-out" => {
+                i += 1;
+                metrics_out = Some(PathBuf::from(args.get(i).unwrap_or_else(|| usage())));
+            }
+            "--metrics-interval" => {
+                i += 1;
+                let ns: u64 = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                if ns == 0 {
+                    eprintln!("error: --metrics-interval must be >= 1 sim-ns");
+                    std::process::exit(2);
+                }
+                metrics_interval = ns;
             }
             "--progress" => progress = Some(true),
             "--no-progress" => progress = Some(false),
@@ -313,6 +638,9 @@ fn main() {
     if trace_out.is_some() {
         obs::enable_tracing(trace_cap);
     }
+    if metrics_out.is_some() {
+        obs::enable_metrics(metrics_interval, metrics::DEFAULT_SAMPLE_CAPACITY);
+    }
     obs::set_progress(progress.unwrap_or_else(obs::progress_default));
     if which == "list" {
         for (name, _) in EXPERIMENTS {
@@ -353,15 +681,17 @@ fn main() {
         let t0 = Instant::now();
         let artifact = f(scale);
         let wall = t0.elapsed().as_secs_f64();
-        let (sim_faults, sim_warp_steps) = bench::experiments::take_sim_totals();
+        let totals = bench::experiments::take_sim_totals();
         let phase = metrics::phase::take();
         perf.push(ExperimentPerf {
             name: name.to_string(),
             wall_seconds: wall,
-            sim_faults,
-            sim_warp_steps,
-            faults_per_sec: sim_faults as f64 / wall,
-            warp_steps_per_sec: sim_warp_steps as f64 / wall,
+            sim_faults: totals.faults,
+            sim_warp_steps: totals.warp_steps,
+            faults_per_sec: totals.faults as f64 / wall,
+            warp_steps_per_sec: totals.warp_steps as f64 / wall,
+            evictions_per_fault: totals.evictions_per_fault(),
+            coverage_pct: totals.coverage_pct(),
             serial_front_ms: phase.serial_front_ns as f64 / 1e6,
             parallel_service_ms: phase.parallel_service_ns as f64 / 1e6,
             service_busy_ms: phase.service_busy_ns as f64 / 1e6,
@@ -382,6 +712,28 @@ fn main() {
             let body = serde_json::to_string_pretty(&artifact.table).expect("serialize table");
             std::fs::write(&path, body).expect("write json");
             out(&format!("  wrote {}", path.display()));
+            // Flush the perf report incrementally: a partial `repro all`
+            // (interrupted, or killed by the nightly timeout) still
+            // leaves every completed experiment's host-phase telemetry
+            // on disk instead of reporting it only at process exit.
+            let path = write_perf_report(&out_dir, scale_den, service_workers, &perf, total0);
+            out(&format!("  wrote {}", path.display()));
+        }
+        if let Some(dir) = &metrics_out {
+            let points = obs::take_metrics_points();
+            match bench::metricsio::write_experiment(dir, name, &points) {
+                Ok(written) => {
+                    out(&format!(
+                        "  wrote {} metrics file(s) under {}",
+                        written.len(),
+                        dir.join(name).display()
+                    ));
+                }
+                Err(e) => {
+                    eprintln!("error: write metrics under {}: {e}", dir.display());
+                    std::process::exit(1);
+                }
+            }
         }
         out(&format!("  [{name} regenerated in {wall:.1}s]\n"));
     }
@@ -423,17 +775,34 @@ fn main() {
         ));
     }
     if json {
-        let report = PerfReport {
-            scale_denominator: scale_den,
-            threads: rayon::current_num_threads(),
-            service_workers,
-            experiments: perf,
-            total_wall_seconds: total0.elapsed().as_secs_f64(),
-        };
-        std::fs::create_dir_all(&out_dir).expect("create output dir");
-        let path = out_dir.join("BENCH_hotpaths.json");
-        let body = serde_json::to_string_pretty(&report).expect("serialize perf report");
-        std::fs::write(&path, body).expect("write perf report");
+        // Final rewrite with the end-to-end wall time (the incremental
+        // flushes above carried a still-growing total).
+        let path = write_perf_report(&out_dir, scale_den, service_workers, &perf, total0);
         out(&format!("  wrote {}", path.display()));
     }
+}
+
+/// Serialize the perf report collected so far to
+/// `<out>/BENCH_hotpaths.json`, returning the written path. Called after
+/// every experiment (and once more at exit), so the file always reflects
+/// the completed experiments.
+fn write_perf_report(
+    out_dir: &std::path::Path,
+    scale_den: f64,
+    service_workers: usize,
+    perf: &[ExperimentPerf],
+    total0: Instant,
+) -> PathBuf {
+    let report = PerfReport {
+        scale_denominator: scale_den,
+        threads: rayon::current_num_threads(),
+        service_workers,
+        experiments: perf.to_vec(),
+        total_wall_seconds: total0.elapsed().as_secs_f64(),
+    };
+    std::fs::create_dir_all(out_dir).expect("create output dir");
+    let path = out_dir.join("BENCH_hotpaths.json");
+    let body = serde_json::to_string_pretty(&report).expect("serialize perf report");
+    std::fs::write(&path, body).expect("write perf report");
+    path
 }

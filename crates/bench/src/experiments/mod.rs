@@ -79,16 +79,60 @@ impl Artifact {
 static SWEEP_FAULTS: AtomicU64 = AtomicU64::new(0);
 /// Completed warp-steps across the same sweeps.
 static SWEEP_STEPS: AtomicU64 = AtomicU64::new(0);
+/// Pages evicted across the same sweeps (trend headline metric).
+static SWEEP_EVICTED: AtomicU64 = AtomicU64::new(0);
+/// Pages prefetched across the same sweeps.
+static SWEEP_PREFETCHED: AtomicU64 = AtomicU64::new(0);
+/// Pages migrated H2D across the same sweeps (coverage denominator).
+static SWEEP_H2D_PAGES: AtomicU64 = AtomicU64::new(0);
 
-/// Drain the accumulated (faults, warp-steps) simulated-work totals.
-/// Counts everything that flowed through [`run_sweep`] since the last
-/// call — the harness divides by wall time for faults/sec and
-/// warp-steps/sec throughput.
-pub fn take_sim_totals() -> (u64, u64) {
-    (
-        SWEEP_FAULTS.swap(0, Ordering::Relaxed),
-        SWEEP_STEPS.swap(0, Ordering::Relaxed),
-    )
+/// Simulated-work totals accumulated across [`run_sweep`] calls.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepTotals {
+    /// Driver-observed faults.
+    pub faults: u64,
+    /// Completed warp-steps.
+    pub warp_steps: u64,
+    /// Pages evicted from GPU memory.
+    pub pages_evicted: u64,
+    /// Pages brought in by the prefetcher.
+    pub pages_prefetched: u64,
+    /// Pages migrated host→device (faulted + prefetched).
+    pub pages_h2d: u64,
+}
+
+impl SweepTotals {
+    /// Pages evicted per fault (0 when no faults).
+    pub fn evictions_per_fault(&self) -> f64 {
+        if self.faults == 0 {
+            0.0
+        } else {
+            self.pages_evicted as f64 / self.faults as f64
+        }
+    }
+
+    /// Prefetched share of all H2D page migrations, percent.
+    pub fn coverage_pct(&self) -> f64 {
+        if self.pages_h2d == 0 {
+            0.0
+        } else {
+            self.pages_prefetched as f64 * 100.0 / self.pages_h2d as f64
+        }
+    }
+}
+
+/// Drain the accumulated simulated-work totals. Counts everything that
+/// flowed through [`run_sweep`] since the last call — the harness divides
+/// by wall time for faults/sec and warp-steps/sec throughput, and feeds
+/// the ratio metrics into the `ci_trend` perf record.
+pub fn take_sim_totals() -> SweepTotals {
+    SweepTotals {
+        faults: SWEEP_FAULTS.swap(0, Ordering::Relaxed),
+        warp_steps: SWEEP_STEPS.swap(0, Ordering::Relaxed),
+        pages_evicted: SWEEP_EVICTED.swap(0, Ordering::Relaxed),
+        pages_prefetched: SWEEP_PREFETCHED.swap(0, Ordering::Relaxed),
+        pages_h2d: SWEEP_H2D_PAGES.swap(0, Ordering::Relaxed),
+    }
 }
 
 /// Run a set of (config, workload) points in parallel, preserving order.
@@ -100,14 +144,27 @@ pub fn take_sim_totals() -> (u64, u64) {
 /// drive the live stderr telemetry line.
 pub fn run_sweep(mut points: Vec<(SimConfig, Workload)>) -> Vec<SimReport> {
     obs::instrument_points(&mut points);
+    // The sweep consumes the configs; keep the per-point prefetch-policy
+    // labels for the metrics exposition.
+    let policies: Vec<&'static str> = points
+        .iter()
+        .map(|(config, _)| config.driver.prefetch.label())
+        .collect();
     obs::sweep_begin(points.len());
     let reports = uvm_sim::run_sweep_with(points, |_, r| obs::on_point_done(r));
     obs::sweep_end();
     obs::collect_reports(&reports);
+    obs::collect_metrics(&policies, &reports);
     let faults: u64 = reports.iter().map(|r| r.total_faults()).sum();
     let steps: u64 = reports.iter().map(|r| r.engine.steps_completed).sum();
+    let evicted: u64 = reports.iter().map(|r| r.counters.pages_evicted_total()).sum();
+    let prefetched: u64 = reports.iter().map(|r| r.counters.pages_prefetched).sum();
+    let h2d: u64 = reports.iter().map(|r| r.counters.pages_migrated_h2d()).sum();
     SWEEP_FAULTS.fetch_add(faults, Ordering::Relaxed);
     SWEEP_STEPS.fetch_add(steps, Ordering::Relaxed);
+    SWEEP_EVICTED.fetch_add(evicted, Ordering::Relaxed);
+    SWEEP_PREFETCHED.fetch_add(prefetched, Ordering::Relaxed);
+    SWEEP_H2D_PAGES.fetch_add(h2d, Ordering::Relaxed);
     reports
 }
 

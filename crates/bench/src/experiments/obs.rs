@@ -12,7 +12,8 @@
 //! faults/sec and an ETA, which is what makes the nightly full-scale
 //! (12 GB) run operable.
 
-use metrics::ChromePoint;
+use crate::metricsio::MetricsPoint;
+use metrics::{ChromePoint, TimeseriesConfig};
 use std::io::{IsTerminal, Write};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -26,7 +27,13 @@ static PROGRESS: AtomicBool = AtomicBool::new(false);
 /// on auto; the simulator then resolves to the rayon pool size).
 static SERVICE_WORKERS: AtomicUsize = AtomicUsize::new(0);
 
+/// `--metrics-out` arming: when non-zero, every sweep point's driver gets
+/// simulated-time telemetry sampling at this interval.
+static METRICS_INTERVAL_NS: AtomicU64 = AtomicU64::new(0);
+static METRICS_CAPACITY: AtomicUsize = AtomicUsize::new(metrics::DEFAULT_SAMPLE_CAPACITY);
+
 static POINTS: Mutex<Vec<ChromePoint>> = Mutex::new(Vec::new());
+static METRICS_POINTS: Mutex<Vec<MetricsPoint>> = Mutex::new(Vec::new());
 
 /// Per-sweep progress counters (reset by [`sweep_begin`]).
 static DONE: AtomicU64 = AtomicU64::new(0);
@@ -77,6 +84,26 @@ pub fn take_points() -> Vec<ChromePoint> {
     std::mem::take(&mut *POINTS.lock().unwrap())
 }
 
+/// Arm simulated-time telemetry sampling for every subsequent sweep
+/// (`repro --metrics-out`): each point's driver samples its counters on
+/// a `interval_ns` grid of the virtual clock into a buffer of at most
+/// `capacity` samples (compacting in place past that).
+pub fn enable_metrics(interval_ns: u64, capacity: usize) {
+    METRICS_CAPACITY.store(capacity.max(2), Ordering::Relaxed);
+    METRICS_INTERVAL_NS.store(interval_ns.max(1), Ordering::Relaxed);
+}
+
+/// True if sweeps are currently collecting telemetry samples.
+pub fn metrics_enabled() -> bool {
+    METRICS_INTERVAL_NS.load(Ordering::Relaxed) > 0
+}
+
+/// Drain every [`MetricsPoint`] collected since the last call, in report
+/// order (deterministic).
+pub fn take_metrics_points() -> Vec<MetricsPoint> {
+    std::mem::take(&mut *METRICS_POINTS.lock().unwrap())
+}
+
 /// Pin every subsequent sweep point's intra-batch planning width
 /// (`repro --service-workers`). Simulated output is identical for every
 /// value — this exists to measure host wall-time scaling.
@@ -85,13 +112,25 @@ pub fn set_service_workers(n: usize) {
 }
 
 /// Rewrite the sweep's driver configs: always apply the service-worker
-/// override when one is set, and switch on span/fault-trace recording
-/// when tracing is armed.
+/// override when one is set, switch on telemetry sampling when metrics
+/// are armed, and switch on span/fault-trace recording when tracing is
+/// armed.
 pub fn instrument_points(points: &mut [(SimConfig, Workload)]) {
     let workers = SERVICE_WORKERS.load(Ordering::Relaxed);
     if workers > 0 {
         for (config, _) in points.iter_mut() {
             config.driver.service_workers = workers;
+        }
+    }
+    let interval_ns = METRICS_INTERVAL_NS.load(Ordering::Relaxed);
+    if interval_ns > 0 {
+        let capacity = METRICS_CAPACITY.load(Ordering::Relaxed);
+        for (config, _) in points.iter_mut() {
+            config.driver.timeseries = TimeseriesConfig {
+                enabled: true,
+                interval_ns,
+                capacity,
+            };
         }
     }
     if !tracing_enabled() {
@@ -185,6 +224,31 @@ pub fn collect_reports(reports: &[SimReport]) {
     }
 }
 
+/// When metrics are armed, fold the sweep's finished reports (in report
+/// order) into the collected metrics points. `policies` carries the
+/// per-point prefetch-policy labels, captured from the configs before
+/// the sweep consumed them.
+pub fn collect_metrics(policies: &[&'static str], reports: &[SimReport]) {
+    if !metrics_enabled() {
+        return;
+    }
+    let mut points = METRICS_POINTS.lock().unwrap();
+    for (i, r) in reports.iter().enumerate() {
+        points.push(MetricsPoint {
+            workload: r.workload.clone(),
+            ratio: r.subscription_ratio,
+            policy: policies.get(i).copied().unwrap_or("unknown"),
+            counters: r.counters,
+            h2d_bytes: r.transfers.h2d_bytes,
+            d2h_bytes: r.transfers.d2h_bytes,
+            trace_dropped: r.trace_dropped,
+            span_dropped: r.span_trace.dropped,
+            total_time_ns: r.total_time.as_nanos(),
+            timeseries: r.timeseries.clone(),
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -220,6 +284,38 @@ mod tests {
             );
         }
         assert!(collected.iter().any(|p| !p.spans.events.is_empty()));
+    }
+
+    /// Metrics arming is process-global too: arm → instrument → run →
+    /// collect → drain, then verify the collected point reconciles with
+    /// its report.
+    #[test]
+    fn armed_metrics_instrument_and_collect() {
+        let s = Scale::QUICK;
+        let mut points = vec![(s.config(), s.workload(WorkloadKind::Regular, 0.05))];
+        assert!(!points[0].0.driver.timeseries.enabled);
+        enable_metrics(100_000, 512);
+        instrument_points(&mut points);
+        assert!(points[0].0.driver.timeseries.enabled);
+        assert_eq!(points[0].0.driver.timeseries.interval_ns, 100_000);
+        assert_eq!(points[0].0.driver.timeseries.capacity, 512);
+
+        let policies = vec![points[0].0.driver.prefetch.label()];
+        let reports = uvm_sim::run_sweep(points);
+        collect_metrics(&policies, &reports);
+        METRICS_INTERVAL_NS.store(0, Ordering::Relaxed);
+        // Other tests' sweeps may have been collected while metrics were
+        // armed (the state is process-global); every point must carry a
+        // non-empty stream whose forced final sample reconciles.
+        let collected = take_metrics_points();
+        assert!(!collected.is_empty());
+        for p in &collected {
+            let last = p.timeseries.last().expect("armed run produced samples");
+            assert_eq!(last.faults_fetched, p.counters.faults_fetched, "{}", p.workload);
+            assert_eq!(last.migrated_bytes_h2d, p.h2d_bytes, "{}", p.workload);
+        }
+        let rendered = crate::metricsio::render_exposition(&collected);
+        metrics::exposition::validate(&rendered).expect("collected points render validly");
     }
 
     #[test]

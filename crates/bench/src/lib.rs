@@ -15,5 +15,6 @@
 //! crossovers; see EXPERIMENTS.md for the paper-vs-measured record.
 
 pub mod experiments;
+pub mod metricsio;
 
 pub use experiments::Scale;

@@ -1,0 +1,626 @@
+//! Metrics export, reporting, and the perf-regression gate for the
+//! `repro` harness.
+//!
+//! Three consumers of the simulated-time telemetry live here:
+//!
+//! * [`write_experiment`] — `repro --metrics-out <dir>`: one sample CSV
+//!   per sweep point plus a Prometheus text-exposition snapshot per
+//!   experiment, each point labelled by `workload`/`ratio`/`policy`.
+//! * [`render_report`] — `repro report <dir>`: re-reads the CSVs and
+//!   renders per-run cost decompositions in the shape of the paper's
+//!   Figs. 8–10 (a fault-vs-eviction timeline per point, and a summary
+//!   of data moved / evictions / coverage per point).
+//! * [`evaluate_trend`] / [`render_findings`] — `repro regress`: compare
+//!   the newest `ci_trend` entry of each benchmark series against the
+//!   median of its history, flagging wall-time, throughput, eviction-rate
+//!   and coverage regressions beyond a configurable threshold.
+
+use metrics::exposition::{MetricDef, MetricKind};
+use metrics::report::Table;
+use metrics::timeseries::{validate_csv, SAMPLE_COLUMNS};
+use metrics::{Counters, Exposition, Timeseries, COUNTER_REGISTRY};
+use serde::Value;
+
+/// One finished sweep point with everything the metrics artefacts need.
+#[derive(Debug, Clone)]
+pub struct MetricsPoint {
+    /// Workload label (`regular`, `random`, `sgemm`, …).
+    pub workload: String,
+    /// Subscription ratio (footprint ÷ GPU memory).
+    pub ratio: f64,
+    /// Prefetch-policy label (`density`, `disabled`, …).
+    pub policy: &'static str,
+    /// End-of-run driver counters.
+    pub counters: Counters,
+    /// Bytes moved host→device.
+    pub h2d_bytes: u64,
+    /// Bytes moved device→host.
+    pub d2h_bytes: u64,
+    /// Fault-trace events dropped at the recorder's capacity.
+    pub trace_dropped: u64,
+    /// Span events dropped at the recorder's capacity.
+    pub span_dropped: u64,
+    /// End-to-end kernel time, simulated ns.
+    pub total_time_ns: u64,
+    /// The sampled telemetry stream.
+    pub timeseries: Timeseries,
+}
+
+impl MetricsPoint {
+    /// Filesystem-safe per-point stem, e.g. `03_regular_r1.25_density`.
+    pub fn file_stem(&self, index: usize) -> String {
+        let workload: String = self
+            .workload
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+            .collect();
+        format!("{index:02}_{workload}_r{:.2}_{}", self.ratio, self.policy)
+    }
+}
+
+const MIGRATED_BYTES: MetricDef = MetricDef {
+    name: "uvm_migrated_bytes_total",
+    kind: MetricKind::Counter,
+    help: "Bytes moved over the interconnect, by direction.",
+};
+const REFAULTS: MetricDef = MetricDef {
+    name: "uvm_refaults_total",
+    kind: MetricKind::Counter,
+    help: "Faults on previously-evicted VABlocks (evict-before-reuse thrash).",
+};
+const TRACE_DROPPED: MetricDef = MetricDef {
+    name: "uvm_trace_dropped_total",
+    kind: MetricKind::Counter,
+    help: "Per-fault trace events dropped at the recorder's capacity.",
+};
+const SPAN_DROPPED: MetricDef = MetricDef {
+    name: "uvm_span_dropped_total",
+    kind: MetricKind::Counter,
+    help: "Span events dropped at the recorder's capacity.",
+};
+const TS_COMPACTIONS: MetricDef = MetricDef {
+    name: "uvm_timeseries_compactions_total",
+    kind: MetricKind::Counter,
+    help: "In-place sample-buffer compactions (each doubles the interval).",
+};
+const SIM_TIME: MetricDef = MetricDef {
+    name: "uvm_sim_time_ns",
+    kind: MetricKind::Gauge,
+    help: "End-to-end simulated kernel time.",
+};
+const RESIDENT: MetricDef = MetricDef {
+    name: "uvm_resident_pages",
+    kind: MetricKind::Gauge,
+    help: "Pages backed by GPU physical memory at end of run.",
+};
+const LRU_BLOCKS: MetricDef = MetricDef {
+    name: "uvm_lru_tracked_blocks",
+    kind: MetricKind::Gauge,
+    help: "VABlocks tracked by the eviction LRU at end of run.",
+};
+const COVERAGE: MetricDef = MetricDef {
+    name: "uvm_prefetch_coverage_percent",
+    kind: MetricKind::Gauge,
+    help: "Prefetched share of all H2D page migrations, percent.",
+};
+const EVICT_PER_FAULT: MetricDef = MetricDef {
+    name: "uvm_evictions_per_fault",
+    kind: MetricKind::Gauge,
+    help: "Pages evicted per driver-observed fault (Table II tail metric).",
+};
+const BATCH_LATENCY: MetricDef = MetricDef {
+    name: "uvm_batch_latency_ns",
+    kind: MetricKind::Gauge,
+    help: "Per-pass driver critical-path latency percentile, simulated ns.",
+};
+const TS_SAMPLES: MetricDef = MetricDef {
+    name: "uvm_timeseries_samples",
+    kind: MetricKind::Gauge,
+    help: "Telemetry samples recorded for the run.",
+};
+
+/// Render the Prometheus text exposition for a set of finished points.
+/// Every sample carries `workload`/`ratio`/`policy` labels; the counter
+/// families come from [`metrics::COUNTER_REGISTRY`], so the exposition
+/// cannot drift from the `Counters` struct.
+pub fn render_exposition(points: &[MetricsPoint]) -> String {
+    let mut exp = Exposition::new();
+    for p in points {
+        let ratio = format!("{:.2}", p.ratio);
+        let base = [
+            ("workload", p.workload.as_str()),
+            ("ratio", ratio.as_str()),
+            ("policy", p.policy),
+        ];
+        for m in COUNTER_REGISTRY {
+            exp.push(&m.def, &base, (m.read)(&p.counters) as f64);
+        }
+        for (dir, bytes) in [("h2d", p.h2d_bytes), ("d2h", p.d2h_bytes)] {
+            let labels = [base[0], base[1], base[2], ("direction", dir)];
+            exp.push(&MIGRATED_BYTES, &labels, bytes as f64);
+        }
+        let last = p.timeseries.last().copied().unwrap_or_default();
+        exp.push(&REFAULTS, &base, last.refaults as f64);
+        exp.push(&TRACE_DROPPED, &base, p.trace_dropped as f64);
+        exp.push(&SPAN_DROPPED, &base, p.span_dropped as f64);
+        exp.push(&TS_COMPACTIONS, &base, p.timeseries.compactions as f64);
+        exp.push(&SIM_TIME, &base, p.total_time_ns as f64);
+        exp.push(&RESIDENT, &base, last.resident_pages as f64);
+        exp.push(&LRU_BLOCKS, &base, last.lru_blocks as f64);
+        exp.push(&COVERAGE, &base, last.prefetch_coverage_bp as f64 / 100.0);
+        exp.push(&EVICT_PER_FAULT, &base, p.counters.evictions_per_fault());
+        for (q, v) in [
+            ("p50", last.batch_ns_p50),
+            ("p95", last.batch_ns_p95),
+            ("p99", last.batch_ns_p99),
+        ] {
+            let labels = [base[0], base[1], base[2], ("quantile", q)];
+            exp.push(&BATCH_LATENCY, &labels, v as f64);
+        }
+        exp.push(&TS_SAMPLES, &base, p.timeseries.samples.len() as f64);
+    }
+    exp.render()
+}
+
+/// Write one experiment's metrics artefacts under `dir/<experiment>/`:
+/// a sample CSV per point plus the exposition snapshot. Returns the
+/// written paths.
+pub fn write_experiment(
+    dir: &std::path::Path,
+    experiment: &str,
+    points: &[MetricsPoint],
+) -> std::io::Result<Vec<std::path::PathBuf>> {
+    let exp_dir = dir.join(experiment);
+    std::fs::create_dir_all(&exp_dir)?;
+    let mut written = Vec::new();
+    for (i, p) in points.iter().enumerate() {
+        let path = exp_dir.join(format!("{}.csv", p.file_stem(i)));
+        std::fs::write(&path, p.timeseries.to_csv())?;
+        written.push(path);
+    }
+    let prom = exp_dir.join("metrics.prom");
+    std::fs::write(&prom, render_exposition(points))?;
+    written.push(prom);
+    Ok(written)
+}
+
+/// Index of a column in the sample CSV schema.
+fn col(name: &str) -> usize {
+    SAMPLE_COLUMNS
+        .iter()
+        .position(|c| c.name == name)
+        .unwrap_or_else(|| panic!("unknown sample column {name}"))
+}
+
+/// Parse a validated sample CSV into rows of u64 cells.
+fn parse_rows(text: &str) -> Result<Vec<Vec<u64>>, String> {
+    validate_csv(text)?;
+    Ok(text
+        .lines()
+        .skip(1)
+        .filter(|l| !l.is_empty())
+        .map(|l| l.split(',').map(|c| c.parse().unwrap()).collect())
+        .collect())
+}
+
+/// Render the `repro report` decompositions from `(name, csv)` blobs:
+/// a per-point summary (Fig. 9/10 shape: time, faults, evictions, data
+/// moved, coverage) and a per-point fault-vs-eviction timeline (Fig. 8
+/// shape), down-sampled to at most `max_timeline_rows` rows.
+pub fn render_report(files: &[(String, String)], max_timeline_rows: usize) -> Result<String, String> {
+    let t_ns = col("t_ns");
+    let faults = col("faults_fetched");
+    let evictions = col("evictions");
+    let pages_evicted = col("pages_evicted");
+    let refaults = col("refaults");
+    let h2d = col("migrated_bytes_h2d");
+    let d2h = col("migrated_bytes_d2h");
+    let resident = col("resident_pages");
+    let coverage = col("prefetch_coverage_bp");
+    let p95 = col("batch_ns_p95");
+
+    let mut out = String::new();
+    let mut summary = Table::new(
+        "per-run cost decomposition (final totals)",
+        &[
+            "point", "sim_ms", "faults", "evict_pages", "refaults", "h2d_MiB", "d2h_MiB",
+            "coverage_%", "batch_p95_us",
+        ],
+    );
+    let mut parsed = Vec::new();
+    for (name, text) in files {
+        let rows = parse_rows(text).map_err(|e| format!("{name}: {e}"))?;
+        let last = rows.last().ok_or_else(|| format!("{name}: no samples"))?;
+        summary.row(vec![
+            name.clone(),
+            format!("{:.3}", last[t_ns] as f64 / 1e6),
+            last[faults].to_string(),
+            last[pages_evicted].to_string(),
+            last[refaults].to_string(),
+            format!("{:.1}", last[h2d] as f64 / (1 << 20) as f64),
+            format!("{:.1}", last[d2h] as f64 / (1 << 20) as f64),
+            format!("{:.2}", last[coverage] as f64 / 100.0),
+            format!("{:.1}", last[p95] as f64 / 1e3),
+        ]);
+        parsed.push((name, rows));
+    }
+    out.push_str(&summary.render());
+    out.push('\n');
+
+    for (name, rows) in parsed {
+        let mut timeline = Table::new(
+            format!("{name}: fault/eviction timeline"),
+            &[
+                "t_ms", "d_faults", "d_evictions", "d_h2d_MiB", "d_d2h_MiB", "resident_pages",
+            ],
+        );
+        // Down-sample by stride so long runs still print compactly; the
+        // deltas are taken between the *selected* rows, so the column
+        // sums are preserved whatever the stride.
+        let stride = rows.len().div_ceil(max_timeline_rows.max(1)).max(1);
+        let mut prev: Option<&Vec<u64>> = None;
+        for (i, row) in rows.iter().enumerate() {
+            if i % stride != 0 && i != rows.len() - 1 {
+                continue;
+            }
+            let d = |c: usize| row[c] - prev.map_or(0, |p| p[c]);
+            timeline.row(vec![
+                format!("{:.3}", row[t_ns] as f64 / 1e6),
+                d(faults).to_string(),
+                d(evictions).to_string(),
+                format!("{:.2}", d(h2d) as f64 / (1 << 20) as f64),
+                format!("{:.2}", d(d2h) as f64 / (1 << 20) as f64),
+                row[resident].to_string(),
+            ]);
+            prev = Some(row);
+        }
+        out.push_str(&timeline.render());
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// How each trend metric regresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    /// Regression when the value grows (wall time, evictions/fault).
+    UpIsBad,
+    /// Regression when the value shrinks (throughput, coverage).
+    DownIsBad,
+}
+
+/// The headline series `repro regress` gates on, as `ci_trend` entry keys.
+const TREND_METRICS: &[(&str, Direction)] = &[
+    ("wall_seconds", Direction::UpIsBad),
+    ("faults_per_sec", Direction::DownIsBad),
+    ("evictions_per_fault", Direction::UpIsBad),
+    ("coverage_pct", Direction::DownIsBad),
+];
+
+/// One metric comparison from [`evaluate_trend`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// Benchmark series name (the `ci_trend` entry `name`).
+    pub name: String,
+    /// Metric key compared.
+    pub metric: &'static str,
+    /// Baseline (median of the prior runs of this series).
+    pub baseline: f64,
+    /// The newest run's value.
+    pub current: f64,
+    /// Signed relative change, where positive means "worse".
+    pub delta_frac: f64,
+    /// True when the change exceeds the threshold in the bad direction.
+    pub regressed: bool,
+    /// Prior runs the baseline was computed from.
+    pub history: usize,
+}
+
+fn as_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::F64(f) => Some(*f),
+        Value::U64(u) => Some(*u as f64),
+        Value::I64(i) => Some(*i as f64),
+        _ => None,
+    }
+}
+
+fn entry_field(entry: &Value, key: &str) -> Option<f64> {
+    match entry {
+        Value::Map(m) => m.iter().find(|(k, _)| k == key).and_then(|(_, v)| as_f64(v)),
+        _ => None,
+    }
+}
+
+fn entry_name(entry: &Value) -> Option<String> {
+    match entry {
+        Value::Map(m) => m.iter().find(|(k, _)| k == "name").and_then(|(_, v)| match v {
+            Value::Str(s) => Some(s.clone()),
+            _ => None,
+        }),
+        _ => None,
+    }
+}
+
+/// Median of a non-empty slice (mean of the middle pair for even counts).
+fn median(values: &mut [f64]) -> f64 {
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = values.len();
+    if n % 2 == 1 {
+        values[n / 2]
+    } else {
+        (values[n / 2 - 1] + values[n / 2]) / 2.0
+    }
+}
+
+/// Evaluate the `ci_trend` array of a BENCH_hotpaths-style JSON document:
+/// for every series (grouped by entry `name`) with at least `min_runs`
+/// entries, compare the newest entry's headline metrics against the
+/// median of the earlier ones. A change beyond `threshold` (relative, in
+/// the metric's bad direction) is flagged as a regression. Series or
+/// metrics without enough history are skipped, not failed.
+pub fn evaluate_trend(
+    root: &Value,
+    threshold: f64,
+    min_runs: usize,
+) -> Result<Vec<Finding>, String> {
+    let Value::Map(keys) = root else {
+        return Err("top level is not a JSON object".into());
+    };
+    let trend = match keys.iter().find(|(k, _)| k == "ci_trend") {
+        Some((_, Value::Seq(entries))) => entries,
+        Some(_) => return Err("ci_trend is not an array".into()),
+        None => return Err("no ci_trend key — nothing to gate on".into()),
+    };
+    let mut names: Vec<String> = Vec::new();
+    for e in trend {
+        let name = entry_name(e).ok_or("ci_trend entry without a name")?;
+        if !names.contains(&name) {
+            names.push(name);
+        }
+    }
+    let mut findings = Vec::new();
+    for name in names {
+        let series: Vec<&Value> = trend
+            .iter()
+            .filter(|e| entry_name(e).as_deref() == Some(name.as_str()))
+            .collect();
+        if series.len() < min_runs.max(2) {
+            continue; // no baseline yet
+        }
+        let (latest, history) = series.split_last().expect("len >= 2");
+        for (metric, direction) in TREND_METRICS {
+            let Some(current) = entry_field(latest, metric) else {
+                continue;
+            };
+            let mut prior: Vec<f64> = history
+                .iter()
+                .filter_map(|e| entry_field(e, metric))
+                .collect();
+            if prior.is_empty() {
+                continue;
+            }
+            let n = prior.len();
+            let baseline = median(&mut prior);
+            if baseline == 0.0 {
+                continue;
+            }
+            let delta_frac = match direction {
+                Direction::UpIsBad => (current - baseline) / baseline,
+                Direction::DownIsBad => (baseline - current) / baseline,
+            };
+            findings.push(Finding {
+                name: name.clone(),
+                metric,
+                baseline,
+                current,
+                delta_frac,
+                regressed: delta_frac > threshold,
+                history: n,
+            });
+        }
+    }
+    Ok(findings)
+}
+
+/// Render regress findings as a readable diff table; regressions first.
+pub fn render_findings(findings: &[Finding], threshold: f64) -> String {
+    if findings.is_empty() {
+        return "no series with enough history to compare — gate passes vacuously\n".into();
+    }
+    let mut t = Table::new(
+        format!("perf trend vs median baseline (threshold {:.0}%)", threshold * 100.0),
+        &["series", "metric", "baseline", "current", "delta", "runs", "verdict"],
+    );
+    let mut ordered: Vec<&Finding> = findings.iter().collect();
+    ordered.sort_by(|a, b| {
+        b.regressed
+            .cmp(&a.regressed)
+            .then(b.delta_frac.partial_cmp(&a.delta_frac).unwrap())
+    });
+    for f in ordered {
+        t.row(vec![
+            f.name.clone(),
+            f.metric.to_string(),
+            format!("{:.4}", f.baseline),
+            format!("{:.4}", f.current),
+            format!("{:+.1}%", f.delta_frac * 100.0),
+            f.history.to_string(),
+            if f.regressed { "REGRESSED" } else { "ok" }.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metrics::exposition;
+    use metrics::timeseries::Sample;
+
+    fn point(workload: &str, ratio: f64, faults: u64) -> MetricsPoint {
+        let mut c = Counters::default();
+        c.faults_fetched = faults;
+        c.pages_faulted_in = faults;
+        c.pages_prefetched = faults * 3;
+        let samples = vec![
+            Sample {
+                t_ns: 1_000,
+                faults_fetched: faults / 2,
+                ..Sample::default()
+            },
+            Sample {
+                t_ns: 2_000,
+                faults_fetched: faults,
+                pages_prefetched: faults * 3,
+                resident_pages: 512,
+                prefetch_coverage_bp: 7_500,
+                ..Sample::default()
+            },
+        ];
+        MetricsPoint {
+            workload: workload.into(),
+            ratio,
+            policy: "density",
+            counters: c,
+            h2d_bytes: faults * 4096,
+            d2h_bytes: 0,
+            trace_dropped: 5,
+            span_dropped: 2,
+            total_time_ns: 2_000,
+            timeseries: Timeseries {
+                base_interval_ns: 1_000,
+                interval_ns: 1_000,
+                compactions: 0,
+                samples,
+            },
+        }
+    }
+
+    #[test]
+    fn exposition_validates_and_reconciles() {
+        let points = [point("regular", 0.5, 100), point("random", 1.25, 250)];
+        let text = render_exposition(&points);
+        let stats = exposition::validate(&text).expect("rendered exposition validates");
+        assert!(stats.families > 20);
+        // Aggregate totals reconcile with the counters exactly.
+        assert!(text.contains(
+            "uvm_faults_fetched_total{workload=\"regular\",ratio=\"0.50\",policy=\"density\"} 100"
+        ));
+        assert!(text.contains(
+            "uvm_migrated_bytes_total{workload=\"random\",ratio=\"1.25\",policy=\"density\",direction=\"h2d\"} 1024000"
+        ));
+        // Satellite: recorder drops are visible without opening the trace.
+        assert!(text.contains("uvm_trace_dropped_total{workload=\"regular\"") );
+        assert!(text.contains("uvm_span_dropped_total"));
+        // Quantile-labelled latency family declared once, sampled 6 times.
+        assert_eq!(text.matches("# TYPE uvm_batch_latency_ns gauge").count(), 1);
+        assert_eq!(text.matches("uvm_batch_latency_ns{").count(), 6);
+    }
+
+    #[test]
+    fn file_stems_are_filesystem_safe() {
+        let p = point("sgemm 2/1", 1.25, 10);
+        assert_eq!(p.file_stem(3), "03_sgemm-2-1_r1.25_density");
+    }
+
+    #[test]
+    fn report_renders_summary_and_timeline() {
+        let p = point("regular", 0.5, 100);
+        let files = vec![("regular_r0.50".to_string(), p.timeseries.to_csv())];
+        let out = render_report(&files, 16).expect("report renders");
+        assert!(out.contains("per-run cost decomposition"));
+        assert!(out.contains("regular_r0.50: fault/eviction timeline"));
+        // Timeline deltas: 50 faults in the first bucket, 50 in the second.
+        assert!(out.contains("50"));
+    }
+
+    #[test]
+    fn report_rejects_malformed_csv() {
+        let files = vec![("bad".to_string(), "nope\n1,2\n".to_string())];
+        assert!(render_report(&files, 16).is_err());
+    }
+
+    fn trend_doc(entries: &[(&str, f64, Option<f64>)]) -> Value {
+        let seq = entries
+            .iter()
+            .map(|(name, wall, rate)| {
+                let mut m = vec![
+                    ("name".to_string(), Value::Str(name.to_string())),
+                    ("wall_seconds".to_string(), Value::F64(*wall)),
+                ];
+                if let Some(r) = rate {
+                    m.push(("faults_per_sec".to_string(), Value::F64(*r)));
+                }
+                Value::Map(m)
+            })
+            .collect();
+        Value::Map(vec![("ci_trend".to_string(), Value::Seq(seq))])
+    }
+
+    #[test]
+    fn regress_flags_wall_time_growth() {
+        let doc = trend_doc(&[
+            ("fig1", 10.0, Some(1000.0)),
+            ("fig1", 10.4, Some(1010.0)),
+            ("fig1", 14.0, Some(990.0)),
+        ]);
+        let findings = evaluate_trend(&doc, 0.25, 2).expect("trend evaluates");
+        let wall = findings
+            .iter()
+            .find(|f| f.metric == "wall_seconds")
+            .expect("wall compared");
+        assert!(wall.regressed, "14s vs 10.2s median is > 25%");
+        assert!((wall.baseline - 10.2).abs() < 1e-9);
+        let rate = findings
+            .iter()
+            .find(|f| f.metric == "faults_per_sec")
+            .expect("rate compared");
+        assert!(!rate.regressed, "1% throughput dip is within threshold");
+        let text = render_findings(&findings, 0.25);
+        assert!(text.contains("REGRESSED"));
+        assert!(text.contains("fig1"));
+    }
+
+    #[test]
+    fn regress_flags_throughput_drop() {
+        let doc = trend_doc(&[
+            ("fig1", 10.0, Some(1000.0)),
+            ("fig1", 10.0, Some(600.0)),
+        ]);
+        let findings = evaluate_trend(&doc, 0.25, 2).expect("trend evaluates");
+        assert!(findings.iter().any(|f| f.metric == "faults_per_sec" && f.regressed));
+    }
+
+    #[test]
+    fn regress_needs_history() {
+        let doc = trend_doc(&[("fig1", 10.0, None)]);
+        let findings = evaluate_trend(&doc, 0.25, 2).expect("trend evaluates");
+        assert!(findings.is_empty(), "one run is not a baseline");
+        let text = render_findings(&findings, 0.25);
+        assert!(text.contains("vacuously"));
+    }
+
+    #[test]
+    fn regress_series_are_independent() {
+        let doc = trend_doc(&[
+            ("fig1", 10.0, None),
+            ("all", 100.0, None),
+            ("fig1", 10.1, None),
+            ("all", 220.0, None),
+        ]);
+        let findings = evaluate_trend(&doc, 0.25, 2).expect("trend evaluates");
+        assert!(findings
+            .iter()
+            .any(|f| f.name == "all" && f.metric == "wall_seconds" && f.regressed));
+        assert!(findings
+            .iter()
+            .any(|f| f.name == "fig1" && f.metric == "wall_seconds" && !f.regressed));
+    }
+
+    #[test]
+    fn regress_rejects_documents_without_trend() {
+        let doc = Value::Map(vec![("other".to_string(), Value::U64(1))]);
+        assert!(evaluate_trend(&doc, 0.25, 2).is_err());
+    }
+}

@@ -1,6 +1,11 @@
 //! Event counters the simulated driver maintains — the numbers behind
 //! Table I (fault reduction) and Table II (SGEMM fault/eviction scaling).
+//!
+//! [`COUNTER_REGISTRY`] binds every counter (and the derived totals) to a
+//! Prometheus-legal metric name and HELP text, so the exposition output
+//! and the CSV/JSON artefacts can never drift from the struct.
 
+use crate::exposition::{MetricDef, MetricKind};
 use serde::{Deserialize, Serialize};
 
 /// Driver-side event counters.
@@ -97,6 +102,126 @@ impl Counters {
     }
 }
 
+/// One exposition registry entry: metric identity plus the extractor
+/// reading it off a [`Counters`] snapshot.
+pub struct CounterMetric {
+    /// Metric name/kind/help for the exposition output.
+    pub def: MetricDef,
+    /// Field (or derived-total) extractor.
+    pub read: fn(&Counters) -> u64,
+}
+
+macro_rules! counter_metric {
+    ($name:literal, $help:literal, $read:expr) => {
+        CounterMetric {
+            def: MetricDef {
+                name: $name,
+                kind: MetricKind::Counter,
+                help: $help,
+            },
+            read: $read,
+        }
+    };
+}
+
+/// Every [`Counters`] field (plus the derived H2D/eviction totals) as an
+/// exposition metric family. All entries are cumulative counters.
+pub const COUNTER_REGISTRY: &[CounterMetric] = &[
+    counter_metric!(
+        "uvm_faults_fetched_total",
+        "Fault entries fetched from the hardware buffer.",
+        |c| c.faults_fetched
+    ),
+    counter_metric!(
+        "uvm_duplicate_faults_total",
+        "Fetched entries discarded as duplicates during pre-processing.",
+        |c| c.duplicate_faults
+    ),
+    counter_metric!(
+        "uvm_pages_faulted_in_total",
+        "Distinct pages serviced because they faulted.",
+        |c| c.pages_faulted_in
+    ),
+    counter_metric!(
+        "uvm_pages_prefetched_total",
+        "Pages migrated because the prefetcher asked for them.",
+        |c| c.pages_prefetched
+    ),
+    counter_metric!(
+        "uvm_pages_zeroed_total",
+        "Pages zeroed on first-touch allocation.",
+        |c| c.pages_zeroed
+    ),
+    counter_metric!("uvm_batches_total", "Fault batches processed.", |c| c.batches),
+    counter_metric!("uvm_replays_total", "Replay notifications issued.", |c| c.replays),
+    counter_metric!(
+        "uvm_buffer_flushes_total",
+        "Fault-buffer flushes performed by the replay policy.",
+        |c| c.buffer_flushes
+    ),
+    counter_metric!(
+        "uvm_polls_total",
+        "Polling iterations on not-yet-ready fault entries.",
+        |c| c.polls
+    ),
+    counter_metric!("uvm_evictions_total", "VABlock evictions performed.", |c| c.evictions),
+    counter_metric!(
+        "uvm_pages_evicted_migrated_total",
+        "Pages written back to the host during evictions.",
+        |c| c.pages_evicted_migrated
+    ),
+    counter_metric!(
+        "uvm_pages_evicted_clean_total",
+        "Pages released during eviction without write-back.",
+        |c| c.pages_evicted_clean
+    ),
+    counter_metric!(
+        "uvm_pma_calls_total",
+        "PMA allocation calls into the proprietary driver.",
+        |c| c.pma_calls
+    ),
+    counter_metric!(
+        "uvm_vablocks_serviced_total",
+        "VABlocks visited across all batches.",
+        |c| c.vablocks_serviced
+    ),
+    counter_metric!(
+        "uvm_pages_hint_prefetched_total",
+        "Pages migrated by explicit prefetch hints outside the fault path.",
+        |c| c.pages_hint_prefetched
+    ),
+    counter_metric!(
+        "uvm_hint_prefetch_calls_total",
+        "Explicit prefetch-hint calls serviced.",
+        |c| c.hint_prefetch_calls
+    ),
+    counter_metric!(
+        "uvm_thrash_pins_total",
+        "VABlocks pinned by the thrashing-mitigation extension.",
+        |c| c.thrash_pins
+    ),
+    counter_metric!(
+        "uvm_pages_migrated_to_host_total",
+        "Pages migrated device to host because the CPU faulted on them.",
+        |c| c.pages_migrated_to_host
+    ),
+    counter_metric!(
+        "uvm_host_fault_calls_total",
+        "CPU-side fault episodes serviced.",
+        |c| c.host_fault_calls
+    ),
+    counter_metric!(
+        "uvm_pages_migrated_h2d_total",
+        "Total pages migrated host to device (faulted plus prefetched).",
+        |c| c.pages_migrated_h2d()
+    ),
+    counter_metric!(
+        "uvm_pages_evicted_pages_total",
+        "Total pages released by evictions (dirty plus clean).",
+        |c| c.pages_evicted_total()
+    ),
+];
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,5 +268,45 @@ mod tests {
         assert_eq!(a.batches, 2);
         assert_eq!(a.evictions, 5);
         assert_eq!(a.pma_calls, 3);
+    }
+
+    #[test]
+    fn registry_names_are_legal_unique_counters() {
+        let mut seen = Vec::new();
+        for m in COUNTER_REGISTRY {
+            assert!(
+                crate::exposition::valid_metric_name(m.def.name),
+                "illegal name {}",
+                m.def.name
+            );
+            assert!(m.def.name.starts_with("uvm_"), "unprefixed {}", m.def.name);
+            assert!(m.def.name.ends_with("_total"), "counter without _total: {}", m.def.name);
+            assert_eq!(m.def.kind, MetricKind::Counter);
+            assert!(!m.def.help.is_empty());
+            assert!(!seen.contains(&m.def.name), "duplicate {}", m.def.name);
+            seen.push(m.def.name);
+        }
+    }
+
+    #[test]
+    fn registry_extractors_read_the_right_fields() {
+        let c = Counters {
+            faults_fetched: 7,
+            pages_faulted_in: 3,
+            pages_prefetched: 9,
+            pages_evicted_migrated: 4,
+            pages_evicted_clean: 2,
+            ..Counters::default()
+        };
+        let read = |name: &str| {
+            (COUNTER_REGISTRY
+                .iter()
+                .find(|m| m.def.name == name)
+                .unwrap_or_else(|| panic!("missing {name}"))
+                .read)(&c)
+        };
+        assert_eq!(read("uvm_faults_fetched_total"), 7);
+        assert_eq!(read("uvm_pages_migrated_h2d_total"), 12);
+        assert_eq!(read("uvm_pages_evicted_pages_total"), 6);
     }
 }

@@ -20,6 +20,11 @@
 //!   service (serial front vs parallel planning), for Amdahl tracking.
 //! * [`chrome`] — Chrome-trace/Perfetto JSON export of span traces plus a
 //!   validator for the trace-event-format invariants.
+//! * [`timeseries`] — bounded simulated-time sampling of the cumulative
+//!   signals (the time-resolved data behind Fig. 8–10), deterministic
+//!   across host thread counts and allocation-free in steady state.
+//! * [`exposition`] — Prometheus text-exposition rendering and a format
+//!   validator for the sampled metrics.
 //! * [`report`] — plain-text table and CSV rendering for the `repro`
 //!   binary that regenerates the paper's tables and figures.
 
@@ -27,17 +32,24 @@
 
 pub mod chrome;
 pub mod counters;
+pub mod exposition;
 pub mod histogram;
 pub mod phase;
 pub mod report;
 pub mod span;
 pub mod timers;
+pub mod timeseries;
 pub mod trace;
 
 pub use chrome::{ChromePoint, TraceStats};
-pub use counters::Counters;
+pub use counters::{CounterMetric, Counters, COUNTER_REGISTRY};
+pub use exposition::{Exposition, ExpositionStats, MetricDef, MetricKind};
 pub use histogram::Histogram;
 pub use phase::ServicePhaseWall;
+pub use timeseries::{
+    Sample, Timeseries, TimeseriesConfig, TimeseriesSampler, DEFAULT_SAMPLE_CAPACITY,
+    DEFAULT_SAMPLE_INTERVAL_NS,
+};
 pub use span::{
     flame_summary, FlameRow, SpanCat, SpanEvent, SpanKind, SpanPhase, SpanRecorder, SpanTrace,
     DEFAULT_SPAN_CAPACITY,

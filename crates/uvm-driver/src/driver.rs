@@ -18,8 +18,9 @@ use gpu_model::{
 };
 use metrics::trace::DEFAULT_TRACE_CAPACITY;
 use metrics::{
-    Category, Counters, EventKind, Histogram, ServicePhaseWall, SpanCat, SpanKind, SpanRecorder,
-    Timers, TraceRecorder, DEFAULT_SPAN_CAPACITY,
+    Category, Counters, EventKind, Histogram, Sample, ServicePhaseWall, SpanCat, SpanKind,
+    SpanRecorder, Timers, Timeseries, TimeseriesConfig, TimeseriesSampler, TraceRecorder,
+    DEFAULT_SPAN_CAPACITY,
 };
 use serde::{Deserialize, Serialize};
 use sim_engine::units::{GIB, PAGES_PER_VABLOCK, PAGE_SIZE};
@@ -63,6 +64,11 @@ pub struct DriverConfig {
     /// bit-identical simulated output — only host wall time changes.
     #[serde(default)]
     pub service_workers: usize,
+    /// Simulated-time telemetry sampling (off by default; when on, the
+    /// driver snapshots its cumulative signals on a virtual-time grid —
+    /// deterministic at any thread/worker count).
+    #[serde(default)]
+    pub timeseries: TimeseriesConfig,
 }
 
 impl Default for DriverConfig {
@@ -80,6 +86,7 @@ impl Default for DriverConfig {
             span_capacity: DEFAULT_SPAN_CAPACITY,
             thrash: ThrashConfig::default(),
             service_workers: 0,
+            timeseries: TimeseriesConfig::default(),
         }
     }
 }
@@ -138,6 +145,11 @@ pub struct UvmDriver {
     /// Host wall-time split of the two-phase service, flushed to the
     /// process-global [`metrics::phase`] totals when the driver drops.
     phase_wall: ServicePhaseWall,
+    /// Simulated-time telemetry sampler (disabled-inert by default).
+    sampler: TimeseriesSampler,
+    /// Per-pass critical-path sim-time distribution, feeding the sampled
+    /// batch-latency percentiles. Only maintained while sampling is on.
+    pass_ns: Histogram,
 }
 
 impl UvmDriver {
@@ -196,6 +208,8 @@ impl UvmDriver {
             vablocks_per_batch: Histogram::default(),
             arena: BatchArena::default(),
             evict_skipped: Vec::new(),
+            sampler: TimeseriesSampler::new(&cfg.timeseries),
+            pass_ns: Histogram::default(),
             cfg,
         }
     }
@@ -397,6 +411,18 @@ impl UvmDriver {
         self.spans
             .end(SpanKind::Pass, SpanCat::Batch, now + t, fetched, replays);
         self.arena = arena;
+        // Telemetry sampling on the virtual clock: one branch per pass
+        // when disabled; when armed, snapshot at pass end if the grid is
+        // due. Everything sampled is simulated state, so streams are
+        // bit-identical at any `--threads`/`service_workers` value.
+        if self.sampler.is_enabled() {
+            self.pass_ns.record(t.as_nanos());
+            let end = now + t;
+            if self.sampler.is_due(end) {
+                let sample = self.snapshot(end);
+                self.sampler.record(end, sample);
+            }
+        }
         self.phase_wall.serial_front_ns +=
             (pass_start.elapsed().as_nanos() as u64).saturating_sub(plan_ns);
         PassResult {
@@ -980,6 +1006,52 @@ impl UvmDriver {
     pub fn service_workers(&self) -> usize {
         self.pool.workers()
     }
+
+    /// Snapshot every sampled signal at simulated time `t`. All inputs
+    /// are simulated state (counters, transfer log, PMA occupancy, LRU
+    /// length, thrash scores, per-pass sim-time percentiles), which is
+    /// the determinism argument for the whole timeseries: no host-side
+    /// value can leak into a sample.
+    fn snapshot(&self, t: SimTime) -> Sample {
+        let h2d = self.counters.pages_migrated_h2d();
+        let mut s = Sample {
+            t_ns: t.as_nanos(),
+            faults_fetched: self.counters.faults_fetched,
+            duplicate_faults: self.counters.duplicate_faults,
+            pages_faulted_in: self.counters.pages_faulted_in,
+            pages_prefetched: self.counters.pages_prefetched,
+            migrated_bytes_h2d: self.xfer.h2d_bytes,
+            migrated_bytes_d2h: self.xfer.d2h_bytes,
+            evictions: self.counters.evictions,
+            pages_evicted: self.counters.pages_evicted_total(),
+            thrash_pins: self.counters.thrash_pins,
+            refaults: self.thrash.refaults(),
+            replays: self.counters.replays,
+            batches: self.counters.batches,
+            resident_pages: self.pma.in_use() / PAGE_SIZE,
+            lru_blocks: self.lru.tracked_blocks(),
+            prefetch_coverage_bp: Sample::coverage_bp(self.counters.pages_prefetched, h2d),
+            ..Sample::default()
+        };
+        s.set_batch_latency(&self.pass_ns);
+        s
+    }
+
+    /// Force a final sample at `now` so the stream's tail carries the
+    /// exact end-of-run totals (the simulation loop calls this before it
+    /// builds its report; reconciliation against [`Counters`] and the
+    /// transfer log is asserted in the harness tests).
+    pub fn finalize_timeseries(&mut self, now: SimTime) {
+        if self.sampler.is_enabled() {
+            let sample = self.snapshot(now);
+            self.sampler.force(sample);
+        }
+    }
+
+    /// Move the finished telemetry stream out of the driver.
+    pub fn take_timeseries(&mut self) -> Timeseries {
+        self.sampler.take()
+    }
 }
 
 impl Drop for UvmDriver {
@@ -1443,6 +1515,102 @@ mod tests {
         assert_eq!(serial.1, parallel.1, "timers diverged");
         assert_eq!(serial.2, parallel.2, "counters diverged");
         assert_eq!(serial.3, parallel.3, "residency diverged");
+    }
+
+    #[test]
+    fn sampling_off_by_default_yields_empty_stream() {
+        let cfg = DriverConfig {
+            gpu_memory_bytes: 64 * MIB,
+            ..DriverConfig::default()
+        };
+        let mut d = driver_with(cfg, VABLOCK_SIZE);
+        let mut buf = FaultBuffer::new(FaultBufferConfig::default());
+        push_fault(&mut buf, 0, false, 0);
+        d.process_pass(&mut buf, now());
+        d.finalize_timeseries(now());
+        let ts = d.take_timeseries();
+        assert!(ts.samples.is_empty());
+        assert_eq!(ts.compactions, 0);
+    }
+
+    /// Drive several passes of eviction-pressured faults with sampling on.
+    fn sampled_run(workers: usize) -> (UvmDriver, SimTime) {
+        let cfg = DriverConfig {
+            gpu_memory_bytes: 4 * VABLOCK_SIZE,
+            service_workers: workers,
+            timeseries: TimeseriesConfig {
+                enabled: true,
+                interval_ns: 1_000,
+                capacity: 16,
+            },
+            ..DriverConfig::default()
+        };
+        let mut d = driver_with(cfg, 16 * VABLOCK_SIZE);
+        let mut buf = FaultBuffer::new(FaultBufferConfig::default());
+        let mut clock = now();
+        for round in 0..8u64 {
+            for b in 0..12u64 {
+                push_fault(&mut buf, b * 512 + (round * 7) % 512, b % 3 == 0, 0);
+            }
+            let r = d.process_pass(&mut buf, clock);
+            clock += r.time;
+        }
+        (d, clock)
+    }
+
+    #[test]
+    fn forced_final_sample_reconciles_with_totals() {
+        let (mut d, clock) = sampled_run(1);
+        d.finalize_timeseries(clock);
+        let c = *d.counters();
+        let xfer = *d.transfer_log();
+        let resident = d.gpu_memory_in_use() / PAGE_SIZE;
+        let ts = d.take_timeseries();
+        assert!(!ts.samples.is_empty());
+        let last = *ts.last().expect("finalized stream has a tail");
+        assert_eq!(last.t_ns, clock.as_nanos());
+        assert_eq!(last.faults_fetched, c.faults_fetched);
+        assert_eq!(last.pages_faulted_in, c.pages_faulted_in);
+        assert_eq!(last.pages_prefetched, c.pages_prefetched);
+        assert_eq!(last.migrated_bytes_h2d, xfer.h2d_bytes);
+        assert_eq!(last.migrated_bytes_d2h, xfer.d2h_bytes);
+        assert_eq!(last.evictions, c.evictions);
+        assert_eq!(last.pages_evicted, c.pages_evicted_total());
+        assert_eq!(last.replays, c.replays);
+        assert_eq!(last.batches, c.batches);
+        assert_eq!(last.resident_pages, resident);
+        assert_eq!(
+            last.prefetch_coverage_bp,
+            Sample::coverage_bp(c.pages_prefetched, c.pages_migrated_h2d())
+        );
+    }
+
+    #[test]
+    fn sampled_stream_identical_across_worker_counts() {
+        let run = |workers: usize| {
+            let (mut d, clock) = sampled_run(workers);
+            d.finalize_timeseries(clock);
+            d.take_timeseries()
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        assert!(!serial.samples.is_empty());
+        assert_eq!(serial, parallel, "sample streams diverged across workers");
+    }
+
+    #[test]
+    fn sampling_compacts_instead_of_truncating() {
+        // Capacity 16 with a 1 µs grid across 8 eviction-heavy passes
+        // overflows the buffer; compaction must keep first-to-last
+        // coverage rather than dropping the tail.
+        let (mut d, clock) = sampled_run(1);
+        d.finalize_timeseries(clock);
+        let ts = d.take_timeseries();
+        if ts.compactions > 0 {
+            assert_eq!(ts.interval_ns, ts.base_interval_ns << ts.compactions);
+        }
+        assert!(ts.samples.len() <= 16);
+        assert_eq!(ts.last().unwrap().t_ns, clock.as_nanos());
     }
 
     #[test]

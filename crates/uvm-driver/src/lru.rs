@@ -49,6 +49,12 @@ impl LruList {
         self.len == 0
     }
 
+    /// [`len`](LruList::len) as the telemetry gauge value: the number of
+    /// VABlocks currently eligible for (fault-driven) eviction aging.
+    pub fn tracked_blocks(&self) -> u64 {
+        self.len as u64
+    }
+
     /// True if `block` is in the list.
     pub fn contains(&self, block: VaBlockIdx) -> bool {
         self.present[block.0 as usize]

@@ -76,6 +76,16 @@ pub enum ResolvedPrefetch {
 }
 
 impl PrefetchPolicy {
+    /// Short policy label for telemetry (the exposition `policy` label).
+    pub fn label(self) -> &'static str {
+        match self {
+            PrefetchPolicy::Disabled => "disabled",
+            PrefetchPolicy::Density { .. } => "density",
+            PrefetchPolicy::Sequential { .. } => "sequential",
+            PrefetchPolicy::Adaptive { .. } => "adaptive",
+        }
+    }
+
     /// Resolve the policy given the footprint/GPU-memory subscription
     /// ratio (1.0 = exactly full).
     pub fn resolve(self, subscription_ratio: f64) -> ResolvedPrefetch {

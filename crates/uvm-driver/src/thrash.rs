@@ -42,6 +42,7 @@ pub struct ThrashDetector {
     batch_no: u64,
     pins: u64,
     skips: u64,
+    refaults: u64,
 }
 
 impl ThrashDetector {
@@ -55,6 +56,7 @@ impl ThrashDetector {
             batch_no: 0,
             pins: 0,
             skips: 0,
+            refaults: 0,
         }
     }
 
@@ -70,7 +72,12 @@ impl ThrashDetector {
 
     /// Record a refault (a fault for a block that has been evicted
     /// before). Returns true if the block just became pinned.
+    ///
+    /// Refaults are counted even with mitigation disabled — the count is
+    /// the evict-before-reuse thrash signal the telemetry timeseries
+    /// samples, and it must not change when pinning is switched on.
     pub fn note_refault(&mut self, block: VaBlockIdx) -> bool {
+        self.refaults += 1;
         if !self.cfg.enabled {
             return false;
         }
@@ -104,6 +111,12 @@ impl ThrashDetector {
     pub fn skips(&self) -> u64 {
         self.skips
     }
+
+    /// Total refaults observed (faults on previously-evicted blocks),
+    /// counted whether or not mitigation is enabled.
+    pub fn refaults(&self) -> u64 {
+        self.refaults
+    }
 }
 
 #[cfg(test)]
@@ -133,6 +146,7 @@ mod tests {
         }
         assert!(!d.is_pinned(b(0)));
         assert_eq!(d.pins(), 0);
+        assert_eq!(d.refaults(), 10, "refaults counted even when disabled");
     }
 
     #[test]

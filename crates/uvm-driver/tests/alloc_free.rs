@@ -168,3 +168,82 @@ fn steady_state_parallel_service_does_not_allocate() {
     );
     assert!(driver.counters().evictions > 0, "the scenario must thrash");
 }
+
+/// Steady-state telemetry sampling is allocation-free: the sample buffer
+/// is preallocated at its capacity and compaction is in place, so a
+/// driver with the timeseries armed — sampling on (almost) every pass,
+/// including through multiple buffer compactions — allocates exactly as
+/// much as one with it off: nothing.
+#[test]
+fn steady_state_sampling_does_not_allocate() {
+    use metrics::TimeseriesConfig;
+    use sim_engine::units::VABLOCK_SIZE;
+    use sim_engine::{CostModel, SimRng};
+    use uvm_driver::{DriverConfig, UvmDriver};
+
+    let cfg = DriverConfig {
+        gpu_memory_bytes: 4 * VABLOCK_SIZE,
+        timeseries: TimeseriesConfig {
+            enabled: true,
+            // A 1 ns grid makes every pass due; capacity 32 forces a
+            // compaction every 32 samples — both paths in the window.
+            interval_ns: 1,
+            capacity: 32,
+        },
+        ..DriverConfig::default()
+    };
+    let mut space = ManagedSpace::new();
+    space.alloc(16 * VABLOCK_SIZE, "sampled");
+    let mut driver = UvmDriver::new(cfg, CostModel::default(), space, SimRng::from_seed(3));
+    let mut buffer = FaultBuffer::new(FaultBufferConfig::default());
+    let mut clock = SimTime::ZERO + SimDuration::from_millis(1);
+
+    let fill = |buffer: &mut FaultBuffer, round: u64| {
+        for b in 0..12u64 {
+            buffer.push(FaultEntry {
+                page: GlobalPage(b * 512 + (round * 13) % 512),
+                access: if b % 3 == 0 {
+                    AccessType::Write
+                } else {
+                    AccessType::Read
+                },
+                timestamp: SimTime::ZERO,
+                utlb: (b % 4) as u32,
+            });
+        }
+    };
+
+    // Warm-up sizes the arena and fills the sample buffer once.
+    for round in 0..40u64 {
+        fill(&mut buffer, round);
+        let r = driver.process_pass(&mut buffer, clock);
+        clock += r.time;
+    }
+
+    let mut cleanest = u64::MAX;
+    for attempt in 0..10u64 {
+        let before = ALLOCS.load(Ordering::Relaxed);
+        for round in 0..40u64 {
+            fill(&mut buffer, 40 + attempt * 40 + round);
+            let r = driver.process_pass(&mut buffer, clock);
+            clock += r.time;
+            assert!(r.fetched > 0);
+        }
+        let after = ALLOCS.load(Ordering::Relaxed);
+        cleanest = cleanest.min(after - before);
+        if cleanest == 0 {
+            break;
+        }
+    }
+    assert_eq!(
+        cleanest, 0,
+        "steady-state sampling allocated {cleanest} times in every window"
+    );
+    driver.finalize_timeseries(clock);
+    let ts = driver.take_timeseries();
+    assert!(
+        ts.compactions > 0,
+        "the window must have exercised in-place compaction"
+    );
+    assert!(ts.samples.len() <= 32);
+}

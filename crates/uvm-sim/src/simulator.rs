@@ -22,7 +22,7 @@ use crate::config::SimConfig;
 use gpu_model::dma::TransferLog;
 use gpu_model::engine::EngineCounters;
 use gpu_model::{FaultBuffer, GpuEngine};
-use metrics::{Counters, Histogram, SpanKind, SpanTrace, Timers, TraceEvent};
+use metrics::{Counters, Histogram, SpanKind, SpanTrace, Timers, Timeseries, TraceEvent};
 use serde::{Deserialize, Serialize};
 use gpu_model::WorkloadTrace;
 use rayon::prelude::*;
@@ -70,6 +70,13 @@ pub struct SimReport {
     pub faults_per_batch: Histogram,
     /// Per-batch VABlock-count distribution (paper §III-D).
     pub vablocks_per_batch: Histogram,
+    /// Simulated-time telemetry samples (empty unless
+    /// `driver.timeseries.enabled`). Sampled on the virtual clock, so the
+    /// stream is bit-identical at any thread/worker count; the final
+    /// sample is forced at the end of the driver's critical path (its
+    /// `t_ns` equals `driver_time`) and carries the exact end-of-run
+    /// totals (it reconciles with `counters`/`transfers`).
+    pub timeseries: Timeseries,
     /// Pages the prefetcher brought in that the kernel never used —
     /// prefetch waste (paper §VI-A). `None` unless
     /// `gpu.track_page_use` was enabled.
@@ -227,6 +234,10 @@ pub fn run_prepared(config: &SimConfig, prepared: &PreparedWorkload) -> SimRepor
     let compute_time = cost.kernel_launch() + engine.compute_time();
     let total_time = driver_time + engine.compute_time();
 
+    // Close out the telemetry stream at the end of the driver's critical
+    // path, so the last sample equals the end-of-run totals exactly.
+    driver.finalize_timeseries(clock);
+
     let mut xfer_explicit = TransferLog::default();
     let explicit_time = cost.kernel_launch()
         + gpu_model::dma::explicit_transfer(&cost, footprint_bytes, &mut xfer_explicit)
@@ -256,6 +267,7 @@ pub fn run_prepared(config: &SimConfig, prepared: &PreparedWorkload) -> SimRepor
         span_trace: driver.spans().to_trace(),
         faults_per_batch: driver.faults_per_batch().clone(),
         vablocks_per_batch: driver.vablocks_per_batch().clone(),
+        timeseries: driver.take_timeseries(),
         prefetched_unused_pages,
     }
 }

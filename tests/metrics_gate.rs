@@ -1,0 +1,208 @@
+//! End-to-end checks of the `repro` metrics surface through the real
+//! binary: `--metrics-out` artefact emission + reconciliation against the
+//! perf report, `check-metrics`/`report` consumption, and the
+//! `regress`/`trend-import` CI gate (including the non-zero exit on a
+//! doctored baseline).
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn repro(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("spawn repro")
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+fn stderr(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stderr).into_owned()
+}
+
+/// Fresh scratch dir under the target tmpdir, namespaced per test.
+fn scratch(test: &str) -> PathBuf {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join(test);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Every value of a `name{...} value` family in an exposition, in order.
+fn prom_values(text: &str, family: &str) -> Vec<u64> {
+    text.lines()
+        .filter(|l| l.starts_with(&format!("{family}{{")))
+        .map(|l| {
+            let v = l.rsplit(' ').next().unwrap();
+            v.parse::<f64>().unwrap() as u64
+        })
+        .collect()
+}
+
+#[test]
+fn metrics_out_reconciles_with_perf_report() {
+    let dir = scratch("metrics_out");
+    let metrics_dir = dir.join("metrics");
+    let out_dir = dir.join("out");
+    let run = repro(&[
+        "fig1",
+        "--scale",
+        "16",
+        "--no-progress",
+        "--json",
+        "--metrics-out",
+        metrics_dir.to_str().unwrap(),
+        "--out",
+        out_dir.to_str().unwrap(),
+    ]);
+    assert!(run.status.success(), "repro failed: {}", stderr(&run));
+
+    // The emitted artefacts re-validate through the CLI.
+    let check = repro(&["check-metrics", metrics_dir.to_str().unwrap()]);
+    assert!(check.status.success(), "check-metrics: {}", stderr(&check));
+    assert!(stdout(&check).contains("0 failure(s)"));
+
+    // Exposition totals reconcile exactly with the perf report's
+    // simulated-work counters: both sides are sums of the same driver
+    // counters, so equality is bitwise, not approximate.
+    let prom = std::fs::read_to_string(metrics_dir.join("fig1/metrics.prom")).unwrap();
+    let prom_faults: u64 = prom_values(&prom, "uvm_faults_fetched_total").iter().sum();
+    let bench = std::fs::read_to_string(out_dir.join("BENCH_hotpaths.json")).unwrap();
+    let root: serde::Value = serde_json::from_str(&bench).unwrap();
+    let serde::Value::Map(keys) = &root else {
+        panic!("perf report is not an object")
+    };
+    let Some((_, serde::Value::Seq(experiments))) =
+        keys.iter().find(|(k, _)| k == "experiments")
+    else {
+        panic!("no experiments array")
+    };
+    let serde::Value::Map(fig1) = &experiments[0] else {
+        panic!("experiment is not an object")
+    };
+    let sim_faults = fig1
+        .iter()
+        .find_map(|(k, v)| match (k.as_str(), v) {
+            ("sim_faults", serde::Value::U64(n)) => Some(*n),
+            _ => None,
+        })
+        .expect("sim_faults in perf report");
+    assert_eq!(prom_faults, sim_faults, "exposition vs perf report faults");
+
+    // And with the sample CSVs: summed final-row faults match the perf
+    // report, and the per-point fault totals match the exposition's
+    // labelled series one-for-one.
+    let mut csv_faults = 0u64;
+    let mut csv_point_faults = Vec::new();
+    let mut csvs: Vec<_> = std::fs::read_dir(metrics_dir.join("fig1"))
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "csv"))
+        .collect();
+    csvs.sort();
+    assert!(csvs.len() > 10, "fig1 sweeps many points");
+    for path in &csvs {
+        let text = std::fs::read_to_string(path).unwrap();
+        metrics::timeseries::validate_csv(&text).expect("sample CSV validates");
+        let last: Vec<u64> = text
+            .lines()
+            .last()
+            .unwrap()
+            .split(',')
+            .map(|c| c.parse().unwrap())
+            .collect();
+        csv_point_faults.push(last[1]);
+        csv_faults += last[1];
+    }
+    assert_eq!(csv_faults, sim_faults, "sample CSVs vs perf report faults");
+    let mut prom_point_faults = prom_values(&prom, "uvm_faults_fetched_total");
+    prom_point_faults.sort_unstable();
+    csv_point_faults.sort_unstable();
+    assert_eq!(
+        prom_point_faults, csv_point_faults,
+        "per-point fault totals, CSV vs exposition"
+    );
+
+    // The report renderer consumes the same directory.
+    let report = repro(&["report", metrics_dir.to_str().unwrap()]);
+    assert!(report.status.success(), "report: {}", stderr(&report));
+    let text = stdout(&report);
+    assert!(text.contains("per-run cost decomposition"));
+    assert!(text.contains("fault/eviction timeline"));
+}
+
+#[test]
+fn regress_gate_passes_then_fails_on_doctored_baseline() {
+    let dir = scratch("regress_gate");
+    let bench_json = dir.join("BENCH_hotpaths.json");
+    let trend = dir.join("trend.json");
+
+    // A perf report shaped like `repro --json` output, with two steady
+    // runs' worth of history imported into the trend file.
+    let mk_bench = |wall: f64, rate: f64, epf: f64, cov: f64| {
+        format!(
+            r#"{{"experiments": [{{"name": "fig1", "wall_seconds": {wall},
+                 "sim_faults": 1000, "faults_per_sec": {rate},
+                 "evictions_per_fault": {epf}, "coverage_pct": {cov}}}]}}"#
+        )
+    };
+    for (wall, rate) in [(10.0, 1000.0), (10.3, 990.0)] {
+        std::fs::write(&bench_json, mk_bench(wall, rate, 0.5, 88.0)).unwrap();
+        let import = repro(&[
+            "trend-import",
+            trend.to_str().unwrap(),
+            bench_json.to_str().unwrap(),
+            "fig1",
+        ]);
+        assert!(import.status.success(), "trend-import: {}", stderr(&import));
+    }
+
+    // A third run consistent with history: the gate passes.
+    std::fs::write(&bench_json, mk_bench(10.1, 1005.0, 0.5, 88.0)).unwrap();
+    let import = repro(&[
+        "trend-import",
+        trend.to_str().unwrap(),
+        bench_json.to_str().unwrap(),
+        "fig1",
+    ]);
+    assert!(import.status.success());
+    let ok = repro(&["regress", trend.to_str().unwrap()]);
+    assert!(ok.status.success(), "steady trend must pass: {}", stderr(&ok));
+    assert!(stdout(&ok).contains("regress: OK"));
+
+    // Doctor the baseline: the newest run's wall time +60%, throughput
+    // −40%. The gate must exit non-zero with a readable diff naming the
+    // series and metrics.
+    std::fs::write(&bench_json, mk_bench(16.0, 600.0, 0.5, 88.0)).unwrap();
+    let import = repro(&[
+        "trend-import",
+        trend.to_str().unwrap(),
+        bench_json.to_str().unwrap(),
+        "fig1",
+    ]);
+    assert!(import.status.success());
+    let bad = repro(&["regress", trend.to_str().unwrap()]);
+    assert!(!bad.status.success(), "doctored trend must fail the gate");
+    assert_eq!(bad.status.code(), Some(1));
+    let diff = stdout(&bad);
+    assert!(diff.contains("REGRESSED"), "diff table flags the regression");
+    let err = stderr(&bad);
+    assert!(err.contains("fig1.wall_seconds"), "stderr names the series: {err}");
+    assert!(err.contains("fig1.faults_per_sec"));
+
+    // A tolerant threshold lets the same history pass.
+    let loose = repro(&["regress", trend.to_str().unwrap(), "--threshold", "0.9"]);
+    assert!(loose.status.success(), "90% threshold tolerates the jump");
+}
+
+#[test]
+fn regress_rejects_unusable_input() {
+    let dir = scratch("regress_bad_input");
+    let path = dir.join("not-a-trend.json");
+    std::fs::write(&path, r#"{"experiments": []}"#).unwrap();
+    let run = repro(&["regress", path.to_str().unwrap()]);
+    assert_eq!(run.status.code(), Some(2), "no ci_trend key is exit 2");
+    assert!(stderr(&run).contains("ci_trend"));
+}
