@@ -3,8 +3,9 @@
 #
 #   ./ci.sh            per-push gate: build, full test suite, quick-scale
 #                      end-to-end repro (~1 min on one core), and a traced
-#                      + telemetry-sampled fig1 with the schema and
-#                      check-metrics gates
+#                      + telemetry-sampled fig1 with the schema,
+#                      check-metrics and fault-provenance (`repro
+#                      explain`) reconciliation gates
 #   ./ci.sh nightly    full-scale gate: `repro all --scale 1` (12 GB
 #                      simulated GPU, hours on one core), traced fig1 at
 #                      full scale with the schema gate, trend recording
@@ -39,6 +40,12 @@ push)
     t1=$(date +%s.%N)
     ./target/release/repro check-trace ci-out/trace.json
     ./target/release/repro check-metrics ci-out/metrics
+
+    echo "== repro explain (fault-provenance reconciliation gate) =="
+    # explain re-derives the root-cause decomposition from the sampled
+    # artefacts and exits non-zero if the attribution columns fail to
+    # partition the counter columns exactly.
+    ./target/release/repro explain ci-out/metrics > ci-out/explain.txt
     ./target/release/repro bench-append ci-out/BENCH_hotpaths.json \
         fig1_scale16_traced "$(echo "$t1 $t0" | awk '{printf "%.3f", $1 - $2}')"
     ;;
@@ -49,6 +56,7 @@ nightly)
         --metrics-out nightly-out/metrics
     t1=$(date +%s.%N)
     ./target/release/repro check-metrics nightly-out/metrics
+    ./target/release/repro explain nightly-out/metrics > nightly-out/explain.txt
     ./target/release/repro bench-append nightly-out/BENCH_hotpaths.json \
         all_scale1 "$(echo "$t1 $t0" | awk '{printf "%.3f", $1 - $2}')"
 

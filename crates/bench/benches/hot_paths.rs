@@ -52,7 +52,7 @@ fn bench_batch_preprocess(c: &mut Criterion) {
                     &mut buffer,
                     256,
                     SimTime::ZERO + SimDuration::from_micros(1),
-                    &space,
+                    &mut space,
                     &mut arena,
                 );
                 black_box(arena.batch.groups.len())

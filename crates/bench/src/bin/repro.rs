@@ -10,6 +10,8 @@
 //! repro check-trace <file>
 //! repro bench-append <file> <name> <wall_seconds>
 //! repro report <metrics-dir>
+//! repro explain <metrics-dir>
+//! repro explain --diff <metrics-dir-a> <metrics-dir-b>
 //! repro regress <trend-file> [--threshold <frac>] [--min-runs <n>]
 //! repro check-metrics <metrics-dir>
 //! repro trend-import <trend-file> <bench-json> <experiment>
@@ -37,6 +39,17 @@
 //! regression beyond `--threshold` (default 20%); `repro trend-import`
 //! appends one experiment's perf record from a `BENCH_hotpaths.json` to
 //! the trend file, which is how the nightly job grows the baseline.
+//!
+//! `repro explain <metrics-dir>` renders the fault-provenance
+//! decomposition from the same artefacts: every driver-observed fault
+//! attributed to its root cause (cold first touch, refault of an evicted
+//! page split by whether it had been used, prefetch hit, replay
+//! duplicate), migrated bytes by origin, the evict-before-use rate, and
+//! the top offending VABlocks (`offenders.tsv`). The attribution columns
+//! must partition the counter columns exactly — a mismatch exits 1, which
+//! is what lets CI gate on it. `repro explain --diff A B` aggregates two
+//! dirs and prints per-cause deltas (e.g. the same sweep with prefetch on
+//! vs off, making the prefetch-eviction antagonism directly visible).
 //!
 //! `--trace-out trace.json` records batch-lifecycle spans and per-page
 //! fault events during every sweep and writes a combined
@@ -119,6 +132,8 @@ fn usage() -> ! {
          \x20      repro check-trace <file>\n\
          \x20      repro bench-append <file> <name> <wall_seconds>\n\
          \x20      repro report <metrics-dir>\n\
+         \x20      repro explain <metrics-dir>\n\
+         \x20      repro explain --diff <metrics-dir-a> <metrics-dir-b>\n\
          \x20      repro regress <trend-file> [--threshold <frac>] [--min-runs <n>]\n\
          \x20      repro check-metrics <metrics-dir>\n\
          \x20      repro trend-import <trend-file> <bench-json> <experiment>"
@@ -313,6 +328,81 @@ fn cmd_check_metrics(dir: &str) -> ! {
     std::process::exit(if failures == 0 { 0 } else { 1 });
 }
 
+/// Read a metrics dir's sample CSVs as `(point-name, text)` blobs plus
+/// the merged offender tables, exiting on I/O errors. Shared by
+/// `repro explain` and `repro explain --diff`.
+fn read_metrics_dir(dir: &str) -> (Vec<(String, String)>, Option<String>) {
+    let root = PathBuf::from(dir);
+    let csvs = walk_files(&root, "csv");
+    if csvs.is_empty() {
+        eprintln!("error: no sample CSVs under {dir} — run with --metrics-out first");
+        std::process::exit(1);
+    }
+    let mut files = Vec::with_capacity(csvs.len());
+    for path in &csvs {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: read {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        };
+        let name = path
+            .strip_prefix(&root)
+            .unwrap_or(path)
+            .with_extension("")
+            .display()
+            .to_string();
+        files.push((name, text));
+    }
+    // Merge every experiment's offenders.tsv into one table (first header
+    // kept, later headers dropped). Older artefact dirs have none — the
+    // fault decomposition still renders.
+    let mut offenders: Option<String> = None;
+    for path in walk_files(&root, "tsv") {
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        match &mut offenders {
+            None => offenders = Some(text),
+            Some(merged) => merged.extend(text.lines().skip(1).map(|l| format!("{l}\n"))),
+        }
+    }
+    (files, offenders)
+}
+
+/// `repro explain <metrics-dir>`: render the per-fault root-cause
+/// decomposition (faults by cause, migrated bytes by origin, top
+/// offending VABlocks) from a `--metrics-out` dir's artefacts alone.
+/// `repro explain --diff <dir-a> <dir-b>` renders the cross-run
+/// attribution diff instead. Either form exits 1 when a point's
+/// attribution columns fail to reconcile with its counter columns.
+fn cmd_explain(args: &[String]) -> ! {
+    let result = if args.first().map(String::as_str) == Some("--diff") {
+        let (a, b) = match (args.get(1), args.get(2)) {
+            (Some(a), Some(b)) => (a, b),
+            _ => usage(),
+        };
+        let (fa, _) = read_metrics_dir(a);
+        let (fb, _) = read_metrics_dir(b);
+        bench::metricsio::render_explain_diff(a, &fa, b, &fb)
+    } else {
+        let dir = args.first().map(String::as_str).unwrap_or_else(|| usage());
+        let (files, offenders) = read_metrics_dir(dir);
+        bench::metricsio::render_explain(&files, offenders.as_deref())
+    };
+    match result {
+        Ok(text) => {
+            out(&text);
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 /// `repro regress <trend-file>`: gate on the `ci_trend` perf history.
 /// Exits 1 when any headline metric of any series regressed beyond the
 /// threshold, 2 on unusable input, 0 otherwise.
@@ -503,6 +593,7 @@ fn main() {
             cmd_bench_append(file, name, wall);
         }
         "report" => cmd_report(args.get(1).map(String::as_str).unwrap_or_else(|| usage())),
+        "explain" => cmd_explain(&args[1..]),
         "check-metrics" => {
             cmd_check_metrics(args.get(1).map(String::as_str).unwrap_or_else(|| usage()))
         }

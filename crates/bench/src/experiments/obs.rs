@@ -8,9 +8,11 @@
 //! the per-fault trace) switched on, and each finished report is folded
 //! into a [`ChromePoint`] — in report order, so the collected trace is
 //! independent of the rayon thread count. When progress is armed, point
-//! completions print a throttled `\r`-overwritten stderr line with
-//! faults/sec and an ETA, which is what makes the nightly full-scale
-//! (12 GB) run operable.
+//! completions print a throttled stderr line with faults/sec and an ETA,
+//! which is what makes the nightly full-scale (12 GB) run operable. The
+//! line `\r`-overwrites itself only when stderr is a terminal; redirected
+//! to a file (CI logs), each update is a plain newline-terminated line so
+//! the log stays readable.
 
 use crate::metricsio::MetricsPoint;
 use metrics::{ChromePoint, TimeseriesConfig};
@@ -185,20 +187,32 @@ pub fn on_point_done(report: &SimReport) {
     } else {
         0.0
     };
-    let mut err = std::io::stderr().lock();
-    let _ = write!(
-        err,
-        "\r  {done}/{total} points  {:.2}M sim faults  {:.0}k faults/s  ETA {:.0}s   ",
+    let stderr = std::io::stderr();
+    // `\r` overwrite only makes sense on a live terminal; in a redirected
+    // log every update gets its own line.
+    let tty = stderr.is_terminal();
+    let mut err = stderr.lock();
+    let line = format!(
+        "  {done}/{total} points  {:.2}M sim faults  {:.0}k faults/s  ETA {:.0}s",
         faults as f64 / 1e6,
         rate / 1e3,
         eta
     );
+    let _ = if tty {
+        write!(err, "\r{line}   ")
+    } else {
+        writeln!(err, "{line}")
+    };
     let _ = err.flush();
 }
 
-/// Finish a sweep's progress line (newline-terminate the `\r` overwrite).
+/// Finish a sweep's progress line (newline-terminate the `\r` overwrite;
+/// a non-terminal stderr already got newline-terminated lines).
 pub fn sweep_end() {
-    if PROGRESS.load(Ordering::Relaxed) && LAST_EMIT_MS.load(Ordering::Relaxed) != u64::MAX {
+    if PROGRESS.load(Ordering::Relaxed)
+        && LAST_EMIT_MS.load(Ordering::Relaxed) != u64::MAX
+        && std::io::stderr().is_terminal()
+    {
         let mut err = std::io::stderr().lock();
         let _ = writeln!(err);
         let _ = err.flush();
@@ -245,6 +259,8 @@ pub fn collect_metrics(policies: &[&'static str], reports: &[SimReport]) {
             span_dropped: r.span_trace.dropped,
             total_time_ns: r.total_time.as_nanos(),
             timeseries: r.timeseries.clone(),
+            attribution: r.attribution,
+            top_offenders: r.top_offenders.clone(),
         });
     }
 }

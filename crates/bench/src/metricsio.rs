@@ -18,8 +18,12 @@
 use metrics::exposition::{MetricDef, MetricKind};
 use metrics::report::Table;
 use metrics::timeseries::{validate_csv, SAMPLE_COLUMNS};
-use metrics::{Counters, Exposition, Timeseries, COUNTER_REGISTRY};
+use metrics::{
+    Attribution, Counters, Exposition, Offender, Timeseries, ATTRIBUTION_REGISTRY,
+    COUNTER_REGISTRY,
+};
 use serde::Value;
+use sim_engine::units::PAGE_SIZE;
 
 /// One finished sweep point with everything the metrics artefacts need.
 #[derive(Debug, Clone)]
@@ -44,6 +48,10 @@ pub struct MetricsPoint {
     pub total_time_ns: u64,
     /// The sampled telemetry stream.
     pub timeseries: Timeseries,
+    /// The fault-provenance ledger (always collected).
+    pub attribution: Attribution,
+    /// Worst-thrashing VABlocks by attribution badness, descending.
+    pub top_offenders: Vec<Offender>,
 }
 
 impl MetricsPoint {
@@ -118,6 +126,18 @@ const TS_SAMPLES: MetricDef = MetricDef {
     kind: MetricKind::Gauge,
     help: "Telemetry samples recorded for the run.",
 };
+const EVICT_BEFORE_USE: MetricDef = MetricDef {
+    name: "uvm_evict_before_use_percent",
+    kind: MetricKind::Gauge,
+    help: "Share of evicted pages that were never touched during their \
+           residency (prefetch-eviction antagonism), percent.",
+};
+const OFFENDER_BADNESS: MetricDef = MetricDef {
+    name: "uvm_offender_badness",
+    kind: MetricKind::Gauge,
+    help: "Attribution badness (refaults + prefetched-evicted pages) of \
+           the run's worst-thrashing VABlocks, labelled by block index.",
+};
 
 /// Render the Prometheus text exposition for a set of finished points.
 /// Every sample carries `workload`/`ratio`/`policy` labels; the counter
@@ -134,6 +154,19 @@ pub fn render_exposition(points: &[MetricsPoint]) -> String {
         ];
         for m in COUNTER_REGISTRY {
             exp.push(&m.def, &base, (m.read)(&p.counters) as f64);
+        }
+        for m in ATTRIBUTION_REGISTRY {
+            exp.push(&m.def, &base, (m.read)(&p.attribution) as f64);
+        }
+        exp.push(
+            &EVICT_BEFORE_USE,
+            &base,
+            p.attribution.evict_before_use_bp() as f64 / 100.0,
+        );
+        for o in &p.top_offenders {
+            let block = o.block.to_string();
+            let labels = [base[0], base[1], base[2], ("block", block.as_str())];
+            exp.push(&OFFENDER_BADNESS, &labels, o.stats.badness() as f64);
         }
         for (dir, bytes) in [("h2d", p.h2d_bytes), ("d2h", p.d2h_bytes)] {
             let labels = [base[0], base[1], base[2], ("direction", dir)];
@@ -181,7 +214,308 @@ pub fn write_experiment(
     let prom = exp_dir.join("metrics.prom");
     std::fs::write(&prom, render_exposition(points))?;
     written.push(prom);
+    let tsv = exp_dir.join("offenders.tsv");
+    std::fs::write(&tsv, render_offenders_tsv(points))?;
+    written.push(tsv);
     Ok(written)
+}
+
+/// Header of the per-experiment offender table artefact.
+const OFFENDERS_HEADER: &str = "point\tblock\trefault_faults\tprefetch_evicted_pages\tevictions\tbadness";
+
+/// Render the per-experiment offender table (`offenders.tsv`): one row
+/// per (point, offending VABlock), points in sweep order, blocks in
+/// descending badness. Tab-separated so the metrics-dir CSV walkers
+/// (`repro report` / `check-metrics`) never mistake it for a sample CSV.
+pub fn render_offenders_tsv(points: &[MetricsPoint]) -> String {
+    let mut out = String::from(OFFENDERS_HEADER);
+    out.push('\n');
+    for (i, p) in points.iter().enumerate() {
+        let stem = p.file_stem(i);
+        for o in &p.top_offenders {
+            out.push_str(&format!(
+                "{stem}\t{}\t{}\t{}\t{}\t{}\n",
+                o.block,
+                o.stats.refault_faults,
+                o.stats.prefetch_evicted_pages,
+                o.stats.evictions,
+                o.stats.badness()
+            ));
+        }
+    }
+    out
+}
+
+/// The provenance ledger of one finished point, re-read from its sample
+/// CSV's forced final row (cumulative totals).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct Ledger {
+    faults: u64,
+    duplicates: u64,
+    faulted_in: u64,
+    prefetched: u64,
+    cold: u64,
+    refault_used: u64,
+    refault_unused: u64,
+    prefetch_hit: u64,
+    replay_dup: u64,
+    evicted_used: u64,
+    prefetch_evicted: u64,
+    pages_evicted: u64,
+    h2d_bytes: u64,
+    d2h_bytes: u64,
+}
+
+impl Ledger {
+    fn refaults(&self) -> u64 {
+        self.refault_used + self.refault_unused
+    }
+
+    fn evict_before_use_pct(&self) -> f64 {
+        let total = self.evicted_used + self.prefetch_evicted;
+        if total == 0 {
+            0.0
+        } else {
+            self.prefetch_evicted as f64 * 100.0 / total as f64
+        }
+    }
+
+    /// Pages migrated by explicit hints, derivable from the byte total:
+    /// H2D bytes = (faulted + fault-path prefetched + hinted) pages.
+    fn hint_pages(&self) -> u64 {
+        self.h2d_bytes / PAGE_SIZE - self.faulted_in - self.prefetched
+    }
+
+    fn merge(&mut self, o: &Ledger) {
+        self.faults += o.faults;
+        self.duplicates += o.duplicates;
+        self.faulted_in += o.faulted_in;
+        self.prefetched += o.prefetched;
+        self.cold += o.cold;
+        self.refault_used += o.refault_used;
+        self.refault_unused += o.refault_unused;
+        self.prefetch_hit += o.prefetch_hit;
+        self.replay_dup += o.replay_dup;
+        self.evicted_used += o.evicted_used;
+        self.prefetch_evicted += o.prefetch_evicted;
+        self.pages_evicted += o.pages_evicted;
+        self.h2d_bytes += o.h2d_bytes;
+        self.d2h_bytes += o.d2h_bytes;
+    }
+}
+
+/// Re-read one point's ledger from its sample CSV and *reconcile* it:
+/// the per-cause attribution columns must partition the counter columns
+/// exactly. A mismatch is a corrupted or internally-inconsistent
+/// artefact — reported as `Err`, never papered over.
+fn read_ledger(name: &str, text: &str) -> Result<Ledger, String> {
+    let rows = parse_rows(text).map_err(|e| format!("{name}: {e}"))?;
+    let last = rows.last().ok_or_else(|| format!("{name}: no samples"))?;
+    let l = Ledger {
+        faults: last[col("faults_fetched")],
+        duplicates: last[col("duplicate_faults")],
+        faulted_in: last[col("pages_faulted_in")],
+        prefetched: last[col("pages_prefetched")],
+        cold: last[col("attr_cold_faults")],
+        refault_used: last[col("attr_refault_used_faults")],
+        refault_unused: last[col("attr_refault_unused_faults")],
+        prefetch_hit: last[col("attr_prefetch_hit_faults")],
+        replay_dup: last[col("attr_replay_dup_faults")],
+        evicted_used: last[col("attr_evicted_used_pages")],
+        prefetch_evicted: last[col("attr_prefetch_evicted_pages")],
+        pages_evicted: last[col("pages_evicted")],
+        h2d_bytes: last[col("migrated_bytes_h2d")],
+        d2h_bytes: last[col("migrated_bytes_d2h")],
+    };
+    let checks: [(&str, u64, u64); 4] = [
+        (
+            "cold + refault_used + refault_unused == pages_faulted_in",
+            l.cold + l.refault_used + l.refault_unused,
+            l.faulted_in,
+        ),
+        (
+            "prefetch_hit + replay_dup == duplicate_faults",
+            l.prefetch_hit + l.replay_dup,
+            l.duplicates,
+        ),
+        (
+            "sum of per-cause faults == faults_fetched",
+            l.cold + l.refault_used + l.refault_unused + l.prefetch_hit + l.replay_dup,
+            l.faults,
+        ),
+        (
+            "evicted_used + prefetch_evicted == pages_evicted",
+            l.evicted_used + l.prefetch_evicted,
+            l.pages_evicted,
+        ),
+    ];
+    for (eq, lhs, rhs) in checks {
+        if lhs != rhs {
+            return Err(format!(
+                "{name}: attribution does not reconcile: {eq} violated ({lhs} != {rhs})"
+            ));
+        }
+    }
+    if l.h2d_bytes < (l.faulted_in + l.prefetched) * PAGE_SIZE {
+        return Err(format!(
+            "{name}: attribution does not reconcile: H2D bytes {} below \
+             (pages_faulted_in + pages_prefetched) * page size {}",
+            l.h2d_bytes,
+            (l.faulted_in + l.prefetched) * PAGE_SIZE
+        ));
+    }
+    Ok(l)
+}
+
+/// Percentage cell, `total == 0` rendering as a dash.
+fn pct(part: u64, total: u64) -> String {
+    if total == 0 {
+        "-".into()
+    } else {
+        format!("{:.1}", part as f64 * 100.0 / total as f64)
+    }
+}
+
+/// Render the `repro explain` decomposition from `(name, csv)` blobs —
+/// the paper-style per-fault root-cause breakdown (§VI shape), entirely
+/// from run artefacts. Errs if any point's attribution columns fail to
+/// reconcile with its counter columns.
+pub fn render_explain(files: &[(String, String)], offenders_tsv: Option<&str>) -> Result<String, String> {
+    let mut out = String::new();
+    let mut faults = Table::new(
+        "fault decomposition by root cause (% of driver-observed faults)",
+        &[
+            "point", "faults", "cold_%", "refault_used_%", "refault_unused_%",
+            "prefetch_hit_%", "replay_dup_%",
+        ],
+    );
+    let mut pages = Table::new(
+        "migration and eviction provenance",
+        &[
+            "point", "h2d_MiB", "faulted_MiB", "prefetch_MiB", "hint_MiB", "d2h_MiB",
+            "evicted_pages", "evict_before_use_%",
+        ],
+    );
+    let mib = |b: u64| format!("{:.1}", b as f64 / (1 << 20) as f64);
+    for (name, text) in files {
+        let l = read_ledger(name, text)?;
+        faults.row(vec![
+            name.clone(),
+            l.faults.to_string(),
+            pct(l.cold, l.faults),
+            pct(l.refault_used, l.faults),
+            pct(l.refault_unused, l.faults),
+            pct(l.prefetch_hit, l.faults),
+            pct(l.replay_dup, l.faults),
+        ]);
+        pages.row(vec![
+            name.clone(),
+            mib(l.h2d_bytes),
+            mib(l.faulted_in * PAGE_SIZE),
+            mib(l.prefetched * PAGE_SIZE),
+            mib(l.hint_pages() * PAGE_SIZE),
+            mib(l.d2h_bytes),
+            l.pages_evicted.to_string(),
+            format!("{:.1}", l.evict_before_use_pct()),
+        ]);
+    }
+    out.push_str(&faults.render());
+    out.push('\n');
+    out.push_str(&pages.render());
+    out.push('\n');
+    if let Some(tsv) = offenders_tsv {
+        out.push_str(&render_offender_table(tsv)?);
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// Re-render the `offenders.tsv` artefact as a report table.
+fn render_offender_table(tsv: &str) -> Result<String, String> {
+    let mut lines = tsv.lines();
+    if lines.next() != Some(OFFENDERS_HEADER) {
+        return Err("offenders.tsv: unexpected header".into());
+    }
+    let mut t = Table::new(
+        "top offending VABlocks (badness = refaults + prefetched-evicted pages)",
+        &["point", "block", "refault_faults", "prefetch_evicted", "evictions", "badness"],
+    );
+    let mut rows = 0usize;
+    for line in lines.filter(|l| !l.is_empty()) {
+        let cells: Vec<&str> = line.split('\t').collect();
+        if cells.len() != 6 {
+            return Err(format!("offenders.tsv: malformed row `{line}`"));
+        }
+        t.row(cells.into_iter().map(String::from).collect());
+        rows += 1;
+    }
+    if rows == 0 {
+        return Ok("no offending VABlocks (no refaults or wasted prefetches)\n".into());
+    }
+    Ok(t.render())
+}
+
+/// Render `repro explain --diff A B`: aggregate each side's ledgers and
+/// show the per-cause deltas — the cross-run attribution diff that makes
+/// e.g. the prefetch-eviction antagonism directly visible when A and B
+/// are the same sweep with prefetch on and off.
+pub fn render_explain_diff(
+    a_label: &str,
+    a_files: &[(String, String)],
+    b_label: &str,
+    b_files: &[(String, String)],
+) -> Result<String, String> {
+    let mut a = Ledger::default();
+    for (name, text) in a_files {
+        a.merge(&read_ledger(name, text)?);
+    }
+    let mut b = Ledger::default();
+    for (name, text) in b_files {
+        b.merge(&read_ledger(name, text)?);
+    }
+    let mut t = Table::new(
+        format!(
+            "attribution diff: A = {a_label} ({} points), B = {b_label} ({} points)",
+            a_files.len(),
+            b_files.len()
+        ),
+        &["metric", "A", "B", "delta"],
+    );
+    let delta = |x: u64, y: u64| format!("{:+}", y as i128 - x as i128);
+    let rows: [(&str, u64, u64); 10] = [
+        ("faults_total", a.faults, b.faults),
+        ("cold_faults", a.cold, b.cold),
+        ("refault_used_faults", a.refault_used, b.refault_used),
+        ("refault_unused_faults", a.refault_unused, b.refault_unused),
+        ("prefetch_hit_faults", a.prefetch_hit, b.prefetch_hit),
+        ("replay_dup_faults", a.replay_dup, b.replay_dup),
+        ("pages_evicted", a.pages_evicted, b.pages_evicted),
+        ("prefetch_evicted_pages", a.prefetch_evicted, b.prefetch_evicted),
+        ("h2d_bytes", a.h2d_bytes, b.h2d_bytes),
+        ("d2h_bytes", a.d2h_bytes, b.d2h_bytes),
+    ];
+    for (name, x, y) in rows {
+        t.row(vec![name.to_string(), x.to_string(), y.to_string(), delta(x, y)]);
+    }
+    t.row(vec![
+        "evict_before_use_%".to_string(),
+        format!("{:.1}", a.evict_before_use_pct()),
+        format!("{:.1}", b.evict_before_use_pct()),
+        format!("{:+.1}", b.evict_before_use_pct() - a.evict_before_use_pct()),
+    ]);
+    let mut out = t.render();
+    // The headline reading, so the antagonism doesn't have to be dug out
+    // of the table: how much of each side's eviction volume was wasted
+    // prefetch, and how much refaulting that churn caused.
+    out.push_str(&format!(
+        "\nA: {} refaults, {} pages evicted before use; \
+         B: {} refaults, {} pages evicted before use\n",
+        a.refaults(),
+        a.prefetch_evicted,
+        b.refaults(),
+        b.prefetch_evicted,
+    ));
+    Ok(out)
 }
 
 /// Index of a column in the sample CSV schema.
@@ -472,12 +806,20 @@ mod tests {
             Sample {
                 t_ns: 2_000,
                 faults_fetched: faults,
+                pages_faulted_in: faults,
                 pages_prefetched: faults * 3,
+                migrated_bytes_h2d: faults * 4 * 4096,
                 resident_pages: 512,
                 prefetch_coverage_bp: 7_500,
+                attr_cold_faults: faults,
                 ..Sample::default()
             },
         ];
+        let attribution = Attribution {
+            cold_faults: faults,
+            prefetch_pages: faults * 3,
+            ..Attribution::default()
+        };
         MetricsPoint {
             workload: workload.into(),
             ratio,
@@ -494,6 +836,15 @@ mod tests {
                 compactions: 0,
                 samples,
             },
+            attribution,
+            top_offenders: vec![metrics::Offender {
+                block: 7,
+                stats: metrics::BlockStats {
+                    refault_faults: 12,
+                    prefetch_evicted_pages: 30,
+                    evictions: 2,
+                },
+            }],
         }
     }
 
@@ -516,6 +867,65 @@ mod tests {
         // Quantile-labelled latency family declared once, sampled 6 times.
         assert_eq!(text.matches("# TYPE uvm_batch_latency_ns gauge").count(), 1);
         assert_eq!(text.matches("uvm_batch_latency_ns{").count(), 6);
+    }
+
+    #[test]
+    fn exposition_carries_attribution_and_offenders() {
+        let points = [point("regular", 1.5, 100)];
+        let text = render_exposition(&points);
+        exposition::validate(&text).expect("rendered exposition validates");
+        assert!(text.contains(
+            "uvm_attr_cold_faults_total{workload=\"regular\",ratio=\"1.50\",policy=\"density\"} 100"
+        ));
+        assert!(text.contains("uvm_attr_prefetch_pages_total"));
+        assert!(text.contains(
+            "uvm_offender_badness{workload=\"regular\",ratio=\"1.50\",policy=\"density\",block=\"7\"} 42"
+        ));
+        assert!(text.contains("uvm_evict_before_use_percent"));
+    }
+
+    #[test]
+    fn explain_renders_decomposition_and_offenders() {
+        let p = point("regular", 1.5, 100);
+        let files = vec![("regular_r1.50".to_string(), p.timeseries.to_csv())];
+        let tsv = render_offenders_tsv(std::slice::from_ref(&p));
+        let out = render_explain(&files, Some(&tsv)).expect("explain renders");
+        assert!(out.contains("fault decomposition by root cause"));
+        assert!(out.contains("100.0"), "all faults are cold in the fixture");
+        assert!(out.contains("migration and eviction provenance"));
+        assert!(out.contains("top offending VABlocks"));
+        assert!(out.contains("42"), "offender badness 12 + 30");
+    }
+
+    #[test]
+    fn explain_fails_on_reconciliation_mismatch() {
+        let mut p = point("regular", 1.5, 100);
+        // Corrupt the artefact: claim one fault was a refault without
+        // taking it from the cold count — the partition no longer sums.
+        p.timeseries.samples[1].attr_refault_used_faults = 1;
+        let files = vec![("bad".to_string(), p.timeseries.to_csv())];
+        let err = render_explain(&files, None).expect_err("mismatch must fail");
+        assert!(err.contains("does not reconcile"), "{err}");
+        assert!(err.contains("pages_faulted_in"), "{err}");
+    }
+
+    #[test]
+    fn explain_diff_shows_per_cause_deltas() {
+        let a = point("regular", 1.5, 100);
+        let mut b = point("regular", 1.5, 100);
+        // B: 40 of the faults are refaults on evicted-unused pages.
+        let s = &mut b.timeseries.samples[1];
+        s.attr_cold_faults = 60;
+        s.attr_refault_unused_faults = 40;
+        s.attr_prefetch_evicted_pages = 40;
+        s.pages_evicted = 40;
+        let fa = vec![("a".to_string(), a.timeseries.to_csv())];
+        let fb = vec![("b".to_string(), b.timeseries.to_csv())];
+        let out = render_explain_diff("off", &fa, "on", &fb).expect("diff renders");
+        assert!(out.contains("attribution diff"));
+        assert!(out.contains("refault_unused_faults"));
+        assert!(out.contains("+40"));
+        assert!(out.contains("pages evicted before use"));
     }
 
     #[test]

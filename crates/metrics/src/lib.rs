@@ -25,11 +25,16 @@
 //!   across host thread counts and allocation-free in steady state.
 //! * [`exposition`] — Prometheus text-exposition rendering and a format
 //!   validator for the sampled metrics.
+//! * [`attribution`] — fault-provenance ledger: per-cause root-cause
+//!   totals (cold / refault / prefetch-hit / replay-duplicate /
+//!   prefetch-evicted) that partition the counters and the transfer log
+//!   exactly, plus the per-VABlock offender table.
 //! * [`report`] — plain-text table and CSV rendering for the `repro`
 //!   binary that regenerates the paper's tables and figures.
 
 #![warn(missing_docs)]
 
+pub mod attribution;
 pub mod chrome;
 pub mod counters;
 pub mod exposition;
@@ -41,6 +46,9 @@ pub mod timers;
 pub mod timeseries;
 pub mod trace;
 
+pub use attribution::{
+    top_offenders, Attribution, AttributionMetric, BlockStats, Offender, ATTRIBUTION_REGISTRY,
+};
 pub use chrome::{ChromePoint, TraceStats};
 pub use counters::{CounterMetric, Counters, COUNTER_REGISTRY};
 pub use exposition::{Exposition, ExpositionStats, MetricDef, MetricKind};

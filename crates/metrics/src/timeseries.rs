@@ -100,6 +100,21 @@ pub struct Sample {
     pub batch_ns_p99: u64,
     /// *Gauge*: prefetched ÷ total H2D pages, in basis points (0–10000).
     pub prefetch_coverage_bp: u64,
+    /// Provenance: faults on never-evicted pages (`ColdFirstTouch`).
+    pub attr_cold_faults: u64,
+    /// Provenance: refaults of pages touched before their last eviction.
+    pub attr_refault_used_faults: u64,
+    /// Provenance: refaults of pages evicted before any use.
+    pub attr_refault_unused_faults: u64,
+    /// Provenance: fault entries absorbed by an untouched prefetched page.
+    pub attr_prefetch_hit_faults: u64,
+    /// Provenance: remaining discarded fault entries (`ReplayDuplicate`).
+    pub attr_replay_dup_faults: u64,
+    /// Provenance: pages evicted without ever being touched
+    /// (`PrefetchEvicted` — the prefetch–eviction antagonism).
+    pub attr_prefetch_evicted_pages: u64,
+    /// Provenance: pages evicted after being touched.
+    pub attr_evicted_used_pages: u64,
 }
 
 impl Sample {
@@ -154,6 +169,37 @@ pub const SAMPLE_COLUMNS: &[SampleColumn] = &[
     SampleColumn { name: "batch_ns_p95", monotonic: false, get: |s| s.batch_ns_p95 },
     SampleColumn { name: "batch_ns_p99", monotonic: false, get: |s| s.batch_ns_p99 },
     SampleColumn { name: "prefetch_coverage_bp", monotonic: false, get: |s| s.prefetch_coverage_bp },
+    SampleColumn { name: "attr_cold_faults", monotonic: true, get: |s| s.attr_cold_faults },
+    SampleColumn {
+        name: "attr_refault_used_faults",
+        monotonic: true,
+        get: |s| s.attr_refault_used_faults,
+    },
+    SampleColumn {
+        name: "attr_refault_unused_faults",
+        monotonic: true,
+        get: |s| s.attr_refault_unused_faults,
+    },
+    SampleColumn {
+        name: "attr_prefetch_hit_faults",
+        monotonic: true,
+        get: |s| s.attr_prefetch_hit_faults,
+    },
+    SampleColumn {
+        name: "attr_replay_dup_faults",
+        monotonic: true,
+        get: |s| s.attr_replay_dup_faults,
+    },
+    SampleColumn {
+        name: "attr_prefetch_evicted_pages",
+        monotonic: true,
+        get: |s| s.attr_prefetch_evicted_pages,
+    },
+    SampleColumn {
+        name: "attr_evicted_used_pages",
+        monotonic: true,
+        get: |s| s.attr_evicted_used_pages,
+    },
 ];
 
 /// A finished sample stream, as carried in a `SimReport`.
@@ -547,7 +593,7 @@ mod tests {
 
     #[test]
     fn columns_cover_every_sample_field() {
-        // 19 public fields in Sample; keep the registry in lockstep.
+        // 26 public fields in Sample; keep the registry in lockstep.
         let s = Sample {
             t_ns: 1,
             faults_fetched: 2,
@@ -568,9 +614,16 @@ mod tests {
             batch_ns_p95: 17,
             batch_ns_p99: 18,
             prefetch_coverage_bp: 19,
+            attr_cold_faults: 20,
+            attr_refault_used_faults: 21,
+            attr_refault_unused_faults: 22,
+            attr_prefetch_hit_faults: 23,
+            attr_replay_dup_faults: 24,
+            attr_prefetch_evicted_pages: 25,
+            attr_evicted_used_pages: 26,
         };
         let vals: Vec<u64> = SAMPLE_COLUMNS.iter().map(|c| (c.get)(&s)).collect();
-        let want: Vec<u64> = (1..=19).collect();
+        let want: Vec<u64> = (1..=26).collect();
         assert_eq!(vals, want, "every field extracted exactly once, in order");
     }
 }

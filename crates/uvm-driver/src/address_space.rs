@@ -53,7 +53,27 @@ pub struct VaBlockState {
     /// fault. Never cleared by eviction — feeds the prefetch-waste
     /// analysis (paper §VI-A: prefetched data may be evicted unused).
     pub prefetched_ever: PageMask,
-    /// Times this block has been evicted (diagnostic).
+    /// Pages the GPU actually accessed during their *current* residency:
+    /// set when a page's own fault establishes residency, or when a
+    /// resident page absorbs a stale fault entry at gather. Cleared on
+    /// eviction and on migration back to the host. `resident ∖ touched`
+    /// is exactly "arrived via prefetch, never used yet", which is what
+    /// classifies `PrefetchEvicted` at eviction time — no separate
+    /// prefetch mask is needed.
+    pub touched: PageMask,
+    /// Pages evicted at least once since allocation (or since a host
+    /// migration reset their history). A faulting page in this mask is
+    /// an `EvictionRefault`, not a `ColdFirstTouch`.
+    pub evicted_ever: PageMask,
+    /// Per-page verdict of the *most recent* eviction: set if the page
+    /// was evicted untouched (evict-before-use), cleared if it had been
+    /// used. Refaults landing in this mask close the paper's
+    /// prefetch→evict-unused→refault antagonism loop.
+    pub evicted_unused: PageMask,
+    /// Times this block has been evicted — the eviction *generation
+    /// stamp*: the provenance masks above describe history as of
+    /// generation `eviction_count`, and the service path uses the same
+    /// counter as its staleness epoch.
     pub eviction_count: u32,
 }
 

@@ -40,6 +40,11 @@ pub struct Batch {
     pub fetched: u64,
     /// Entries dropped as duplicates or already-resident.
     pub duplicates: u64,
+    /// Subset of `duplicates` absorbed by a resident page the prefetcher
+    /// had migrated but the GPU had not yet touched — the fault-side
+    /// `PrefetchHit` signal (the prefetch arrived in time). The rest of
+    /// `duplicates` are `ReplayDuplicate`s.
+    pub prefetch_hits: u64,
     /// Polling iterations on not-yet-ready entries.
     pub polls: u64,
 }
@@ -70,11 +75,16 @@ pub struct BatchArena {
 
 /// Fetch and pre-process one batch of faults into `arena.batch`,
 /// reusing the arena's buffers (allocation-free at steady state).
+///
+/// Takes the space mutably because stale entries on resident pages mark
+/// the page *touched* — a fault entry absorbed by a prefetched,
+/// not-yet-accessed page is the provenance ledger's `PrefetchHit`, and
+/// the first such absorption proves the GPU has now used the page.
 pub fn gather_into(
     buffer: &mut FaultBuffer,
     batch_size: usize,
     now: SimTime,
-    space: &ManagedSpace,
+    space: &mut ManagedSpace,
     arena: &mut BatchArena,
 ) {
     arena.entries.clear();
@@ -83,6 +93,7 @@ pub fn gather_into(
     batch.groups.clear();
     batch.fetched = arena.entries.len() as u64;
     batch.duplicates = 0;
+    batch.prefetch_hits = 0;
     batch.polls = polls;
 
     // Sort by raw page id — identical to (vablock, offset) order — so each
@@ -104,8 +115,15 @@ pub fn gather_into(
         }
         if st.resident.get(off) {
             // Stale entry: the page was serviced by an earlier batch (the
-            // Batch/Block policies leave such entries behind).
+            // Batch/Block policies leave such entries behind) — or, if the
+            // page arrived via prefetch and was never accessed, the
+            // prefetcher beat the fault: a PrefetchHit. `touched` is not
+            // part of the dense residency index, so no sync is needed.
             batch.duplicates += 1;
+            if !st.touched.get(off) {
+                batch.prefetch_hits += 1;
+                space.block_mut(vb).touched.set(off);
+            }
             continue;
         }
         if batch.groups.last().map(|g| g.block) != Some(vb) {
@@ -134,7 +152,7 @@ pub fn gather(
     buffer: &mut FaultBuffer,
     batch_size: usize,
     now: SimTime,
-    space: &ManagedSpace,
+    space: &mut ManagedSpace,
 ) -> Batch {
     let mut arena = BatchArena::default();
     gather_into(buffer, batch_size, now, space, &mut arena);
@@ -169,12 +187,12 @@ mod tests {
 
     #[test]
     fn groups_sorted_by_vablock() {
-        let (mut buf, space) = setup(&[
+        let (mut buf, mut space) = setup(&[
             (1024, AccessType::Read), // block 2
             (3, AccessType::Read),    // block 0
             (600, AccessType::Read),  // block 1
         ]);
-        let b = gather(&mut buf, 256, late(), &space);
+        let b = gather(&mut buf, 256, late(), &mut space);
         assert_eq!(b.fetched, 3);
         let blocks: Vec<u64> = b.groups.iter().map(|g| g.block.0).collect();
         assert_eq!(blocks, vec![0, 1, 2]);
@@ -183,8 +201,8 @@ mod tests {
 
     #[test]
     fn same_page_two_utlbs_dedups() {
-        let (mut buf, space) = setup(&[(7, AccessType::Read), (7, AccessType::Read)]);
-        let b = gather(&mut buf, 256, late(), &space);
+        let (mut buf, mut space) = setup(&[(7, AccessType::Read), (7, AccessType::Read)]);
+        let b = gather(&mut buf, 256, late(), &mut space);
         assert_eq!(b.fetched, 2);
         assert_eq!(b.duplicates, 1);
         assert_eq!(b.new_fault_pages(), 1);
@@ -195,7 +213,7 @@ mod tests {
     fn resident_pages_are_stale_duplicates() {
         let (mut buf, mut space) = setup(&[(7, AccessType::Read), (9, AccessType::Read)]);
         space.block_mut(VaBlockIdx(0)).resident.set(7);
-        let b = gather(&mut buf, 256, late(), &space);
+        let b = gather(&mut buf, 256, late(), &mut space);
         assert_eq!(b.duplicates, 1);
         assert_eq!(b.new_fault_pages(), 1);
         assert!(b.groups[0].fault_mask.get(9));
@@ -203,9 +221,41 @@ mod tests {
     }
 
     #[test]
+    fn stale_entry_on_untouched_page_is_a_prefetch_hit_and_marks_touched() {
+        // Page 7 resident but untouched: the prefetcher brought it in and
+        // the GPU's fault raced the migration — a PrefetchHit, after which
+        // the page counts as touched.
+        let (mut buf, mut space) = setup(&[(7, AccessType::Read)]);
+        space.block_mut(VaBlockIdx(0)).resident.set(7);
+        let b = gather(&mut buf, 256, late(), &mut space);
+        assert_eq!(b.duplicates, 1);
+        assert_eq!(b.prefetch_hits, 1);
+        assert!(space.block(VaBlockIdx(0)).touched.get(7));
+    }
+
+    #[test]
+    fn stale_entry_on_touched_page_is_a_replay_duplicate() {
+        let (mut buf, mut space) = setup(&[(7, AccessType::Read)]);
+        let st = space.block_mut(VaBlockIdx(0));
+        st.resident.set(7);
+        st.touched.set(7);
+        let b = gather(&mut buf, 256, late(), &mut space);
+        assert_eq!(b.duplicates, 1);
+        assert_eq!(b.prefetch_hits, 0, "already-touched page is a replay duplicate");
+    }
+
+    #[test]
+    fn in_batch_same_page_duplicate_is_not_a_prefetch_hit() {
+        let (mut buf, mut space) = setup(&[(7, AccessType::Read), (7, AccessType::Read)]);
+        let b = gather(&mut buf, 256, late(), &mut space);
+        assert_eq!(b.duplicates, 1);
+        assert_eq!(b.prefetch_hits, 0);
+    }
+
+    #[test]
     fn write_faults_populate_write_mask() {
-        let (mut buf, space) = setup(&[(3, AccessType::Write), (4, AccessType::Read)]);
-        let b = gather(&mut buf, 256, late(), &space);
+        let (mut buf, mut space) = setup(&[(3, AccessType::Write), (4, AccessType::Read)]);
+        let b = gather(&mut buf, 256, late(), &mut space);
         let g = &b.groups[0];
         assert!(g.write_mask.get(3));
         assert!(!g.write_mask.get(4));
@@ -214,16 +264,16 @@ mod tests {
     #[test]
     fn batch_size_bounds_fetch() {
         let pages: Vec<(u64, AccessType)> = (0..300).map(|i| (i, AccessType::Read)).collect();
-        let (mut buf, space) = setup(&pages);
-        let b = gather(&mut buf, 256, late(), &space);
+        let (mut buf, mut space) = setup(&pages);
+        let b = gather(&mut buf, 256, late(), &mut space);
         assert_eq!(b.fetched, 256);
         assert_eq!(buf.len(), 44);
     }
 
     #[test]
     fn empty_buffer_empty_batch() {
-        let (mut buf, space) = setup(&[]);
-        let b = gather(&mut buf, 256, late(), &space);
+        let (mut buf, mut space) = setup(&[]);
+        let b = gather(&mut buf, 256, late(), &mut space);
         assert_eq!(b.fetched, 0);
         assert!(b.groups.is_empty());
         assert_eq!(b.new_fault_pages(), 0);

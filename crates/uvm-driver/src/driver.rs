@@ -18,9 +18,9 @@ use gpu_model::{
 };
 use metrics::trace::DEFAULT_TRACE_CAPACITY;
 use metrics::{
-    Category, Counters, EventKind, Histogram, Sample, ServicePhaseWall, SpanCat, SpanKind,
-    SpanRecorder, Timers, Timeseries, TimeseriesConfig, TimeseriesSampler, TraceRecorder,
-    DEFAULT_SPAN_CAPACITY,
+    Attribution, BlockStats, Category, Counters, EventKind, Histogram, Offender, Sample,
+    ServicePhaseWall, SpanCat, SpanKind, SpanRecorder, Timers, Timeseries, TimeseriesConfig,
+    TimeseriesSampler, TraceRecorder, DEFAULT_SPAN_CAPACITY,
 };
 use serde::{Deserialize, Serialize};
 use sim_engine::units::{GIB, PAGES_PER_VABLOCK, PAGE_SIZE};
@@ -150,6 +150,14 @@ pub struct UvmDriver {
     /// Per-pass critical-path sim-time distribution, feeding the sampled
     /// batch-latency percentiles. Only maintained while sampling is on.
     pass_ns: Histogram,
+    /// Fault-provenance ledger: per-cause fault/page/byte totals that
+    /// partition [`Counters`] and the transfer log exactly. Always on —
+    /// classification is a handful of word-wide mask ops on paths that
+    /// already walk the same masks.
+    attribution: Attribution,
+    /// Per-VABlock offender stats (refaults, prefetch-evicted pages),
+    /// preallocated one slot per block like `trees`/`lru`.
+    block_stats: Vec<BlockStats>,
 }
 
 impl UvmDriver {
@@ -189,6 +197,7 @@ impl UvmDriver {
             lru: LruList::new(space.num_blocks()),
             thrash: ThrashDetector::new(cfg.thrash.clone(), space.num_blocks()),
             trees: vec![DensityTree::new_empty(); space.num_blocks()],
+            block_stats: vec![BlockStats::default(); space.num_blocks()],
             maintain_trees: matches!(resolved_prefetch, ResolvedPrefetch::Density { .. }),
             pool: ServicePool::new(workers),
             plan_scratch: DensityTree::new_empty(),
@@ -210,6 +219,7 @@ impl UvmDriver {
             evict_skipped: Vec::new(),
             sampler: TimeseriesSampler::new(&cfg.timeseries),
             pass_ns: Histogram::default(),
+            attribution: Attribution::default(),
             cfg,
         }
     }
@@ -277,7 +287,7 @@ impl UvmDriver {
         // the groups can be iterated while `service_group(&mut self)` runs;
         // put it back below to keep its buffers for the next pass.
         let mut arena = std::mem::take(&mut self.arena);
-        batch::gather_into(buffer, self.cfg.batch_size, now + t, &self.space, &mut arena);
+        batch::gather_into(buffer, self.cfg.batch_size, now + t, &mut self.space, &mut arena);
         let batch = &arena.batch;
         let mut pre = self.cost.fault_fetch(batch.fetched) + self.cost.fault_poll(batch.polls);
         if batch.fetched > 0 {
@@ -295,6 +305,12 @@ impl UvmDriver {
         self.counters.faults_fetched += batch.fetched;
         self.counters.duplicate_faults += batch.duplicates;
         self.counters.polls += batch.polls;
+        // Provenance: gather already split the discarded entries into
+        // prefetch hits (absorbed by an untouched prefetched page) and
+        // replay duplicates; the non-duplicate entries are classified at
+        // commit against each block's eviction history.
+        self.attribution.prefetch_hit_faults += batch.prefetch_hits;
+        self.attribution.replay_dup_faults += batch.duplicates - batch.prefetch_hits;
         if batch.duplicates > 0 {
             self.spans
                 .instant(SpanKind::DuplicatesFiltered, now + t, batch.duplicates, 0);
@@ -557,9 +573,25 @@ impl UvmDriver {
             n,
         );
 
-        // Commit state.
+        // Commit state. Provenance first: classify the faulted pages
+        // against the block's eviction history (a fault on a page in
+        // `evicted_ever` is a refault — split by the recorded verdict of
+        // its last eviction), then mark them touched; prefetched pages
+        // arrive *untouched*, which is what lets a later eviction call
+        // them out as `PrefetchEvicted`.
         {
             let st = self.space.block_mut(vb);
+            let refault = plan.faulted.intersect(&st.evicted_ever);
+            let refault_unused = refault.intersect(&st.evicted_unused);
+            let n_faulted = plan.faulted.count() as u64;
+            let n_refault = refault.count() as u64;
+            let n_unused = refault_unused.count() as u64;
+            self.attribution.cold_faults += n_faulted - n_refault;
+            self.attribution.refault_used_faults += n_refault - n_unused;
+            self.attribution.refault_unused_faults += n_unused;
+            self.attribution.prefetch_pages += plan.prefetch.count() as u64;
+            self.block_stats[vb.0 as usize].refault_faults += n_refault;
+            st.touched.or_with(&plan.faulted);
             st.resident.or_with(&plan.to_migrate);
             st.prefetched_ever.or_with(&plan.prefetch);
             let dirty_new = group.write_mask.intersect(&plan.faulted);
@@ -657,16 +689,29 @@ impl UvmDriver {
             )
         });
 
-        let (dirty_pages, resident_pages, backed_pages) = {
+        let (dirty_pages, resident_pages, backed_pages, unused_pages) = {
             let st = self.space.block_mut(victim);
             let dirty = st.dirty.intersect(&st.resident).count() as u64;
             let resident = st.resident.count() as u64;
             let backed = st.backed.count() as u64;
+            // Provenance: split the evicted pages by the touched-bit.
+            // `resident ∖ touched` is exactly "arrived via prefetch,
+            // never accessed" — the paper's prefetch–eviction antagonism
+            // (`PrefetchEvicted`). Record each page's verdict in
+            // `evicted_unused` (most recent eviction wins) so a refault
+            // can tell evict-before-use churn from working-set churn,
+            // and bump the generation stamp the masks are relative to.
+            let used = st.resident.intersect(&st.touched);
+            let unused = st.resident.difference(&st.touched);
+            st.evicted_ever.or_with(&st.resident);
+            st.evicted_unused.or_with(&unused);
+            st.evicted_unused = st.evicted_unused.difference(&used);
+            st.touched = PageMask::EMPTY;
             st.resident = PageMask::EMPTY;
             st.dirty = PageMask::EMPTY;
             st.backed = PageMask::EMPTY;
             st.eviction_count += 1;
-            (dirty, resident, backed)
+            (dirty, resident, backed, unused.count() as u64)
         };
         if self.maintain_trees {
             self.trees[victim.0 as usize].clear();
@@ -677,6 +722,14 @@ impl UvmDriver {
         if dirty_pages > 0 {
             cost += self.cost.writeback_d2h(dirty_pages);
             self.xfer.record_d2h(dirty_pages * PAGE_SIZE);
+            self.attribution.writeback_bytes += dirty_pages * PAGE_SIZE;
+        }
+        self.attribution.evicted_used_pages += resident_pages - unused_pages;
+        self.attribution.prefetch_evicted_pages += unused_pages;
+        {
+            let bs = &mut self.block_stats[victim.0 as usize];
+            bs.prefetch_evicted_pages += unused_pages;
+            bs.evictions += 1;
         }
         self.charge_span(
             Category::Eviction,
@@ -797,6 +850,10 @@ impl UvmDriver {
             self.space.sync_block_residency(vb);
             self.lru.touch(vb);
             self.counters.pages_hint_prefetched += n;
+            // Provenance: hint-prefetched pages arrive untouched (the
+            // `touched` mask is deliberately not set), so an eviction
+            // before any GPU access classifies them `PrefetchEvicted`.
+            self.attribution.hint_pages += n;
             if self.trace.is_enabled() {
                 let base = vb.first_page().0;
                 for off in wanted.iter_set() {
@@ -854,10 +911,18 @@ impl UvmDriver {
                 n,
             );
             self.xfer.record_d2h(n * PAGE_SIZE);
+            self.attribution.host_migrated_bytes += n * PAGE_SIZE;
             let backed_pages = {
                 let st = self.space.block_mut(vb);
                 st.resident = PageMask::EMPTY;
                 st.dirty = PageMask::EMPTY;
+                // Provenance: migrating back to the host is paged
+                // bidirectional migration, not eviction thrash — reset
+                // the migrated pages' touched-bit and eviction history
+                // so their next GPU fault counts as ColdFirstTouch.
+                st.touched = st.touched.difference(&resident);
+                st.evicted_ever = st.evicted_ever.difference(&resident);
+                st.evicted_unused = st.evicted_unused.difference(&resident);
                 let b = st.backed.count() as u64;
                 st.backed = PageMask::EMPTY;
                 b
@@ -963,6 +1028,18 @@ impl UvmDriver {
         &self.xfer
     }
 
+    /// Fault-provenance ledger (per-cause totals partitioning
+    /// [`Counters`] and the transfer log exactly).
+    pub fn attribution(&self) -> &Attribution {
+        &self.attribution
+    }
+
+    /// Top-`k` offender VABlocks by avoidable cost (refaults plus
+    /// prefetch-evicted pages), deterministically ordered.
+    pub fn top_offenders(&self, k: usize) -> Vec<Offender> {
+        metrics::top_offenders(&self.block_stats, k)
+    }
+
     /// Captured trace events (empty unless `capture_trace`).
     pub fn trace(&self) -> &TraceRecorder {
         &self.trace
@@ -1031,6 +1108,13 @@ impl UvmDriver {
             resident_pages: self.pma.in_use() / PAGE_SIZE,
             lru_blocks: self.lru.tracked_blocks(),
             prefetch_coverage_bp: Sample::coverage_bp(self.counters.pages_prefetched, h2d),
+            attr_cold_faults: self.attribution.cold_faults,
+            attr_refault_used_faults: self.attribution.refault_used_faults,
+            attr_refault_unused_faults: self.attribution.refault_unused_faults,
+            attr_prefetch_hit_faults: self.attribution.prefetch_hit_faults,
+            attr_replay_dup_faults: self.attribution.replay_dup_faults,
+            attr_prefetch_evicted_pages: self.attribution.prefetch_evicted_pages,
+            attr_evicted_used_pages: self.attribution.evicted_used_pages,
             ..Sample::default()
         };
         s.set_batch_latency(&self.pass_ns);
@@ -1507,7 +1591,14 @@ mod tests {
             let resid: Vec<u64> = (0..16)
                 .map(|b| d.space().block(VaBlockIdx(b)).resident.count() as u64)
                 .collect();
-            (results, *d.timers(), *d.counters(), resid)
+            (
+                results,
+                *d.timers(),
+                *d.counters(),
+                resid,
+                *d.attribution(),
+                d.top_offenders(8),
+            )
         };
         let serial = run(1);
         let parallel = run(4);
@@ -1515,6 +1606,8 @@ mod tests {
         assert_eq!(serial.1, parallel.1, "timers diverged");
         assert_eq!(serial.2, parallel.2, "counters diverged");
         assert_eq!(serial.3, parallel.3, "residency diverged");
+        assert_eq!(serial.4, parallel.4, "attribution diverged");
+        assert_eq!(serial.5, parallel.5, "offender table diverged");
     }
 
     #[test]
@@ -1564,6 +1657,7 @@ mod tests {
         d.finalize_timeseries(clock);
         let c = *d.counters();
         let xfer = *d.transfer_log();
+        let attribution = *d.attribution();
         let resident = d.gpu_memory_in_use() / PAGE_SIZE;
         let ts = d.take_timeseries();
         assert!(!ts.samples.is_empty());
@@ -1583,6 +1677,14 @@ mod tests {
             last.prefetch_coverage_bp,
             Sample::coverage_bp(c.pages_prefetched, c.pages_migrated_h2d())
         );
+        let a = attribution;
+        assert_eq!(last.attr_cold_faults, a.cold_faults);
+        assert_eq!(last.attr_refault_used_faults, a.refault_used_faults);
+        assert_eq!(last.attr_refault_unused_faults, a.refault_unused_faults);
+        assert_eq!(last.attr_prefetch_hit_faults, a.prefetch_hit_faults);
+        assert_eq!(last.attr_replay_dup_faults, a.replay_dup_faults);
+        assert_eq!(last.attr_prefetch_evicted_pages, a.prefetch_evicted_pages);
+        assert_eq!(last.attr_evicted_used_pages, a.evicted_used_pages);
     }
 
     #[test]
@@ -1672,6 +1774,119 @@ mod tests {
         let g = metrics::phase::take();
         assert!(g.planned_groups >= 8, "drop published the accumulator");
         assert!(g.workers >= 2);
+    }
+
+    #[test]
+    fn attribution_reconciles_across_every_migration_path() {
+        // Exercise all five fault causes and all byte paths: density
+        // prefetch + tight memory (evictions, refaults, prefetch-evicted
+        // pages), a hint prefetch, a host access, and write faults for
+        // dirty write-backs.
+        let cfg = DriverConfig {
+            gpu_memory_bytes: 4 * VABLOCK_SIZE,
+            ..DriverConfig::default()
+        };
+        let mut d = driver_with(cfg, 16 * VABLOCK_SIZE);
+        let mut buf = FaultBuffer::new(FaultBufferConfig::default());
+        let mut clock = now();
+        clock += d.prefetch_range(
+            &VaRange {
+                name: "hint".into(),
+                start_page: 14 * 512,
+                num_pages: 512,
+            },
+            clock,
+        );
+        for round in 0..10u64 {
+            for b in 0..12u64 {
+                push_fault(&mut buf, b * 512 + (round * 11) % 512, b % 2 == 0, 0);
+            }
+            let r = d.process_pass(&mut buf, clock);
+            clock += r.time;
+        }
+        clock += d.host_access_range(
+            &VaRange {
+                name: "host".into(),
+                start_page: 0,
+                num_pages: 2 * 512,
+            },
+            clock,
+        );
+        // One more faulting round so post-host-migration pages refault
+        // as cold (history was reset).
+        for b in 0..4u64 {
+            push_fault(&mut buf, b * 512 + 7, false, 0);
+        }
+        let r = d.process_pass(&mut buf, clock);
+        clock += r.time;
+
+        let a = *d.attribution();
+        let c = *d.counters();
+        let xfer = *d.transfer_log();
+        assert!(c.evictions > 0, "run must hit eviction pressure");
+        assert!(a.refault_used_faults + a.refault_unused_faults > 0, "run must refault");
+        assert!(a.prefetch_evicted_pages > 0, "run must evict prefetched-unused pages");
+        a.reconcile(&c, xfer.h2d_bytes, xfer.d2h_bytes)
+            .unwrap_or_else(|(what, attr, obs)| {
+                panic!("partition violated: {what}: {attr} != {obs}")
+            });
+        // Offenders: every listed block must have nonzero badness, in
+        // descending order.
+        let top = d.top_offenders(4);
+        assert!(!top.is_empty());
+        for w in top.windows(2) {
+            assert!(w[0].stats.badness() >= w[1].stats.badness());
+        }
+    }
+
+    #[test]
+    fn refault_split_tracks_evict_before_use() {
+        // Two blocks of memory, no prefetcher: fault one page of block 0
+        // (touched), force its eviction, then refault it — a *used*
+        // refault. Then hint-prefetch block 3 (untouched), force its
+        // eviction, and fault one of its pages — an *evict-before-use*
+        // refault.
+        let cfg = DriverConfig {
+            prefetch: PrefetchPolicy::Disabled,
+            gpu_memory_bytes: 2 * VABLOCK_SIZE,
+            ..DriverConfig::default()
+        };
+        let mut d = driver_with(cfg, 6 * VABLOCK_SIZE);
+        let mut buf = FaultBuffer::new(FaultBufferConfig::default());
+        let mut clock = now();
+        push_fault(&mut buf, 0, false, 0); // block 0, touched
+        clock += d.process_pass(&mut buf, clock).time;
+        clock += d.prefetch_range(
+            // block 3 arrives untouched
+            &VaRange {
+                name: "hint".into(),
+                start_page: 3 * 512,
+                num_pages: 512,
+            },
+            clock,
+        );
+        // Memory is now full (blocks 0 and 3). Fault two fresh blocks:
+        // the first pushes out block 0 (LRU, touched), the second pushes
+        // out block 3 (untouched).
+        push_fault(&mut buf, 4 * 512, false, 0);
+        clock += d.process_pass(&mut buf, clock).time;
+        assert_eq!(d.counters().evictions, 1);
+        assert_eq!(d.attribution().evicted_used_pages, 1);
+        push_fault(&mut buf, 5 * 512, false, 0);
+        clock += d.process_pass(&mut buf, clock).time;
+        assert_eq!(d.attribution().prefetch_evicted_pages, 512);
+        // Refault block 0's page: it was touched before eviction.
+        push_fault(&mut buf, 0, false, 0);
+        clock += d.process_pass(&mut buf, clock).time;
+        assert_eq!(d.attribution().refault_used_faults, 1);
+        // Refault a block-3 page: evicted before any use.
+        push_fault(&mut buf, 3 * 512 + 5, false, 0);
+        clock += d.process_pass(&mut buf, clock).time;
+        assert_eq!(d.attribution().refault_unused_faults, 1);
+        let a = d.attribution();
+        let c = d.counters();
+        let x = d.transfer_log();
+        a.reconcile(c, x.h2d_bytes, x.d2h_bytes).expect("partitions hold");
     }
 
     #[test]

@@ -67,7 +67,7 @@ fn steady_state_batch_preprocessing_does_not_allocate() {
             &mut buffer,
             256,
             SimTime::ZERO + SimDuration::from_millis(batch + 1),
-            &space,
+            &mut space,
             &mut arena,
         );
         assert!(!arena.batch.groups.is_empty(), "warm-up produced no groups");
@@ -87,7 +87,7 @@ fn steady_state_batch_preprocessing_does_not_allocate() {
                 &mut buffer,
                 256,
                 SimTime::ZERO + SimDuration::from_millis(batch + 1),
-                &space,
+                &mut space,
                 &mut arena,
             );
             assert!(!arena.batch.groups.is_empty());
@@ -167,6 +167,22 @@ fn steady_state_parallel_service_does_not_allocate() {
         "steady-state parallel service allocated {cleanest} times in every window"
     );
     assert!(driver.counters().evictions > 0, "the scenario must thrash");
+    // The provenance ledger rode along through every one of those passes
+    // (fixed-size counters + preallocated per-block stats), so a thrashing
+    // steady state proves the attribution path is allocation-free too —
+    // and the ledger it built must be a real one: refaults observed and
+    // every partition equation intact.
+    let a = driver.attribution();
+    assert!(
+        a.refault_used_faults + a.refault_unused_faults > 0,
+        "thrash must produce refaults"
+    );
+    a.reconcile(
+        driver.counters(),
+        driver.transfer_log().h2d_bytes,
+        driver.transfer_log().d2h_bytes,
+    )
+    .expect("attribution reconciles after the allocation-free window");
 }
 
 /// Steady-state telemetry sampling is allocation-free: the sample buffer

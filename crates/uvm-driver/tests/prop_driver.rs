@@ -313,7 +313,7 @@ proptest! {
                 utlb: (i % 4) as u32,
             });
         }
-        let b = batch::gather(&mut buf, batch_size, SimTime::ZERO, &space);
+        let b = batch::gather(&mut buf, batch_size, SimTime::ZERO, &mut space);
         // Conservation: every fetched entry is a new page or a duplicate.
         prop_assert_eq!(b.fetched, pages.len().min(batch_size) as u64);
         prop_assert_eq!(b.new_fault_pages() + b.duplicates, b.fetched);

@@ -26,12 +26,21 @@ fn arb_batches() -> impl Strategy<Value = Vec<Vec<u64>>> {
     proptest::collection::vec(proptest::collection::vec(any::<u64>(), 1..40), 1..12)
 }
 
+type DriverOutput = (
+    Vec<PassResult>,
+    metrics::Timers,
+    metrics::Counters,
+    Vec<u64>,
+    metrics::Attribution,
+    Vec<metrics::Offender>,
+);
+
 fn run_driver(
     batches: &[Vec<u64>],
     workers: usize,
     gpu_blocks: u64,
     prefetch_on: bool,
-) -> (Vec<PassResult>, metrics::Timers, metrics::Counters, Vec<u64>) {
+) -> DriverOutput {
     let cfg = DriverConfig {
         gpu_memory_bytes: gpu_blocks * VABLOCK_SIZE,
         service_workers: workers,
@@ -71,7 +80,14 @@ fn run_driver(
             st.resident.count() as u64 + ((st.eviction_count as u64) << 32)
         })
         .collect();
-    (results, *driver.timers(), *driver.counters(), residency)
+    (
+        results,
+        *driver.timers(),
+        *driver.counters(),
+        residency,
+        *driver.attribution(),
+        driver.top_offenders(8),
+    )
 }
 
 proptest! {
@@ -89,5 +105,7 @@ proptest! {
         prop_assert_eq!(&serial.1, &parallel.1, "timers diverged");
         prop_assert_eq!(&serial.2, &parallel.2, "counters diverged");
         prop_assert_eq!(&serial.3, &parallel.3, "residency diverged");
+        prop_assert_eq!(&serial.4, &parallel.4, "attribution ledger diverged");
+        prop_assert_eq!(&serial.5, &parallel.5, "offender ranking diverged");
     }
 }

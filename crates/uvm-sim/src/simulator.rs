@@ -22,7 +22,10 @@ use crate::config::SimConfig;
 use gpu_model::dma::TransferLog;
 use gpu_model::engine::EngineCounters;
 use gpu_model::{FaultBuffer, GpuEngine};
-use metrics::{Counters, Histogram, SpanKind, SpanTrace, Timers, Timeseries, TraceEvent};
+use metrics::{
+    Attribution, Counters, Histogram, Offender, SpanKind, SpanTrace, Timers, Timeseries,
+    TraceEvent,
+};
 use serde::{Deserialize, Serialize};
 use gpu_model::WorkloadTrace;
 use rayon::prelude::*;
@@ -81,6 +84,14 @@ pub struct SimReport {
     /// prefetch waste (paper §VI-A). `None` unless
     /// `gpu.track_page_use` was enabled.
     pub prefetched_unused_pages: Option<u64>,
+    /// Fault-provenance ledger: every serviced fault and migrated byte
+    /// attributed to its root cause. Always collected (word-wide mask
+    /// ops on paths already walking the masks); reconciles exactly with
+    /// `counters` and `transfers`.
+    pub attribution: Attribution,
+    /// The worst-thrashing VABlocks by attribution badness (refaults +
+    /// prefetched-evicted pages), descending; block index breaks ties.
+    pub top_offenders: Vec<Offender>,
 }
 
 impl SimReport {
@@ -269,8 +280,14 @@ pub fn run_prepared(config: &SimConfig, prepared: &PreparedWorkload) -> SimRepor
         vablocks_per_batch: driver.vablocks_per_batch().clone(),
         timeseries: driver.take_timeseries(),
         prefetched_unused_pages,
+        attribution: *driver.attribution(),
+        top_offenders: driver.top_offenders(TOP_OFFENDERS_K),
     }
 }
+
+/// How many offending VABlocks a report carries. Enough to render the
+/// `repro explain` table; small enough to be negligible in JSON output.
+const TOP_OFFENDERS_K: usize = 8;
 
 /// Run every `(config, workload)` point of a sweep, in parallel when a
 /// rayon thread pool offers more than one thread, returning reports in

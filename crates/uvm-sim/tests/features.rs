@@ -360,3 +360,73 @@ fn batch_histograms_reflect_access_pattern() {
         "random {rnd_blocks:.1} vs regular {reg_blocks:.1} VABlocks/batch"
     );
 }
+
+/// The sweep thread count is invisible to the attribution stream: the
+/// same points run under a 1-thread and a 4-thread global pool must
+/// produce bit-identical ledgers, offender tables and telemetry. (The
+/// vendored rayon only has a global pool; its thread count is documented
+/// to never change results, so flipping it mid-process is safe.)
+#[test]
+fn attribution_is_identical_across_sweep_thread_counts() {
+    let points = || {
+        let mut a = SimConfig::default();
+        a.driver.gpu_memory_bytes = 16 * MIB;
+        a.driver.timeseries.enabled = true;
+        let mut b = a.clone();
+        b.driver.prefetch = PrefetchPolicy::Disabled;
+        let w = Workload::Random(RandomParams {
+            bytes: 24 * MIB,
+            warps_per_block: 8,
+        });
+        vec![(a, w.clone()), (b, w)]
+    };
+    rayon::ThreadPoolBuilder::new().num_threads(1).build_global().unwrap();
+    let narrow = uvm_sim::run_sweep(points());
+    rayon::ThreadPoolBuilder::new().num_threads(4).build_global().unwrap();
+    let wide = uvm_sim::run_sweep(points());
+    rayon::ThreadPoolBuilder::new().num_threads(0).build_global().unwrap();
+    for (a, b) in narrow.iter().zip(&wide) {
+        assert_eq!(a.attribution, b.attribution);
+        assert_eq!(a.top_offenders, b.top_offenders);
+        assert_eq!(a.timeseries, b.timeseries);
+        assert_eq!(a.counters, b.counters);
+    }
+}
+
+/// §VI qualitative findings, straight from the ledger: an oversubscribed
+/// run with prefetching on shows the prefetch–eviction antagonism
+/// (prefetched pages evicted unused, refaults on evicted pages), and
+/// turning the prefetcher off zeroes the evicted-before-use volume.
+#[test]
+fn attribution_exposes_prefetch_eviction_antagonism() {
+    let mut on = SimConfig::default();
+    on.driver.gpu_memory_bytes = 16 * MIB;
+    let mut off = on.clone();
+    off.driver.prefetch = PrefetchPolicy::Disabled;
+    let w = Workload::Random(RandomParams {
+        bytes: 24 * MIB,
+        warps_per_block: 8,
+    });
+    let r_on = run(&on, &w);
+    let r_off = run(&off, &w);
+    assert!(
+        r_on.attribution.prefetch_evicted_pages > 0,
+        "prefetch under memory pressure must evict some pages unused"
+    );
+    assert!(
+        r_on.attribution.refault_used_faults + r_on.attribution.refault_unused_faults > 0,
+        "oversubscription must refault"
+    );
+    assert!(
+        !r_on.top_offenders.is_empty(),
+        "thrashing blocks must surface as offenders"
+    );
+    // With no prefetcher every resident page got there by its own fault,
+    // so nothing can be evicted before use.
+    assert_eq!(r_off.attribution.prefetch_evicted_pages, 0);
+    assert_eq!(r_off.attribution.prefetch_hit_faults, 0);
+    assert!(
+        r_on.attribution.prefetch_evicted_pages > r_off.attribution.prefetch_evicted_pages,
+        "the antagonism is visible as a cross-run diff"
+    );
+}

@@ -101,6 +101,59 @@ proptest! {
     }
 
     #[test]
+    fn attribution_partitions_conserve(
+        kind_idx in 0usize..8,
+        ratio_pct in 60u64..160,
+        prefetch_on in any::<bool>(),
+        workers in prop_oneof![Just(0usize), Just(4usize)],
+        seed in any::<u64>(),
+    ) {
+        // The provenance ledger is a *partition*: per-cause fault counts
+        // must sum to the driver's fault total, and per-cause byte counts
+        // to the transfer log — under every workload shape, subscription
+        // ratio, prefetch setting, and service-worker count.
+        let kind = WorkloadKind::ALL[kind_idx];
+        let gpu_mib = 24u64;
+        let mut cfg = small_config(gpu_mib).with_seed(seed);
+        cfg.driver.service_workers = workers;
+        if !prefetch_on {
+            cfg.driver.prefetch = PrefetchPolicy::Disabled;
+        }
+        let w = Workload::with_footprint(kind, gpu_mib * MIB * ratio_pct / 100);
+        let r = run(&cfg, &w);
+        if let Err((eq, lhs, rhs)) =
+            r.attribution
+                .reconcile(&r.counters, r.transfers.h2d_bytes, r.transfers.d2h_bytes)
+        {
+            prop_assert!(false, "attribution violates `{}`: {} != {}", eq, lhs, rhs);
+        }
+        // Offender badness must be backed by the ledger's refault and
+        // prefetch-evicted totals.
+        let badness: u64 = r.top_offenders.iter().map(|o| o.stats.badness()).sum();
+        let refaults = r.attribution.refault_used_faults + r.attribution.refault_unused_faults;
+        prop_assert!(badness <= refaults + r.attribution.prefetch_evicted_pages);
+    }
+
+    #[test]
+    fn attribution_is_identical_across_service_worker_counts(
+        kind_idx in 0usize..8,
+        seed in any::<u64>(),
+    ) {
+        // Classification happens only in serial paths on simulated state,
+        // so the ledger is bit-identical at any planning width.
+        let kind = WorkloadKind::ALL[kind_idx];
+        let w = Workload::with_footprint(kind, 36 * MIB);
+        let mut serial = small_config(24).with_seed(seed);
+        serial.driver.service_workers = 1;
+        let mut wide = small_config(24).with_seed(seed);
+        wide.driver.service_workers = 4;
+        let a = run(&serial, &w);
+        let b = run(&wide, &w);
+        prop_assert_eq!(a.attribution, b.attribution);
+        prop_assert_eq!(a.top_offenders, b.top_offenders);
+    }
+
+    #[test]
     fn faults_bounded_by_accesses(
         kind_idx in 0usize..8,
         mib in 12u64..48,
