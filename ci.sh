@@ -77,6 +77,14 @@ nightly)
         nightly-out/BENCH_hotpaths.json fig1
     ./target/release/repro trend-import nightly-out/ci_trend.json \
         nightly-out/BENCH_hotpaths.json table2
+    # The bench-appended wall-time series and the sweep scheduler's
+    # straggler bound (max_straggler_ms on the experiment records) ride
+    # along in the same trend, so a hot-path layout or scheduler change
+    # can't silently regress the big single points either.
+    ./target/release/repro trend-import nightly-out/ci_trend.json \
+        nightly-out/BENCH_hotpaths.json all_scale1
+    ./target/release/repro trend-import nightly-out/ci_trend.json \
+        nightly-out/BENCH_hotpaths.json fig1_scale1_traced
     ./target/release/repro regress nightly-out/ci_trend.json
     ;;
 *)

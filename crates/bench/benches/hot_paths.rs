@@ -1,7 +1,9 @@
 //! Micro-benches of the fault-pipeline hot paths, isolated from the
 //! experiment harness: batch pre-processing (sort-then-group into a
 //! reusable arena), the engine's post-replay retry scan, word-at-a-time
-//! `PageMask` operations, and one end-to-end oversubscribed point at
+//! `PageMask` operations, the word-parallel mask kernels behind the SoA
+//! driver (`count_span` / `next_set` / `andnot_with`), the batched LRU
+//! eviction scan, and one end-to-end oversubscribed point at
 //! `Scale::QUICK`.
 //!
 //! These are the loops the `repro` wall time is made of; `cargo bench
@@ -14,8 +16,10 @@ use gpu_model::{
     AccessType, BlockTrace, FaultBuffer, FaultBufferConfig, FaultEntry, GlobalPage, GpuConfig,
     GpuEngine, PageMask, WorkloadTrace,
 };
-use sim_engine::{SimDuration, SimRng, SimTime};
+use sim_engine::units::VABLOCK_SIZE;
+use sim_engine::{CostModel, SimDuration, SimRng, SimTime};
 use std::hint::black_box;
+use uvm_driver::{DriverConfig, PrefetchPolicy, UvmDriver, VaRange};
 use uvm_sim::{BatchArena, ManagedSpace, WorkloadKind};
 
 /// 256 faults spread over a handful of VABlocks, timestamps in order —
@@ -113,6 +117,79 @@ fn bench_mask_word_ops(c: &mut Criterion) {
     });
 }
 
+/// The word-parallel mask kernels the SoA driver hot paths lean on:
+/// popcount span counts, trailing_zeros set-bit walks, and the
+/// AND-NOT / intersection combinators used by eviction bookkeeping.
+fn bench_mask_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hot_paths");
+    // A realistic half-populated residency mask with ragged word edges.
+    let mut m = PageMask::default();
+    for start in (0..512).step_by(32) {
+        m.set_span(start + 5, 17);
+    }
+    let mut other = PageMask::default();
+    other.set_span(100, 300);
+    group.bench_function("mask_count_span", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for start in (0..448).step_by(64) {
+                total += m.count_span(black_box(start + 3), black_box(61));
+            }
+            black_box(total)
+        })
+    });
+    group.bench_function("mask_next_set_walk", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            let mut at = m.first_set();
+            while let Some(p) = at {
+                n += 1;
+                at = m.next_set(p + 1);
+            }
+            black_box(n)
+        })
+    });
+    group.bench_function("mask_andnot_intersect", |b| {
+        b.iter(|| {
+            let mut scratch = m;
+            scratch.andnot_with(black_box(&other));
+            black_box(scratch.intersect_count(&m) + m.difference_count(&other))
+        })
+    });
+}
+
+/// The batched LRU eviction scan in steady-state thrash: two 8-block
+/// regions ping-pong through an 8-block GPU, so every `prefetch_range`
+/// runs one `evict_batch` that selects and migrates out 8 victims.
+fn bench_eviction_scan(c: &mut Criterion) {
+    let cfg = DriverConfig {
+        prefetch: PrefetchPolicy::Disabled,
+        gpu_memory_bytes: 8 * VABLOCK_SIZE,
+        ..DriverConfig::default()
+    };
+    let mut space = ManagedSpace::new();
+    let range = space.alloc(64 * VABLOCK_SIZE, "bench");
+    let pages_per_block = (VABLOCK_SIZE / 4096) as u64;
+    let region = |blocks: std::ops::Range<u64>| VaRange {
+        name: "sub".into(),
+        start_page: range.start_page + blocks.start * pages_per_block,
+        num_pages: (blocks.end - blocks.start) * pages_per_block,
+    };
+    let (a, b_region) = (region(0..8), region(8..16));
+    let mut d = UvmDriver::new(cfg, CostModel::default(), space, SimRng::from_seed(7));
+    let mut t = SimTime::ZERO + SimDuration::from_millis(1);
+    // Prime the GPU full so every later prefetch must evict.
+    t += d.prefetch_range(&a, t);
+    c.benchmark_group("hot_paths")
+        .bench_function("eviction_scan_8_blocks", |b| {
+            b.iter(|| {
+                t += d.prefetch_range(black_box(&b_region), t);
+                t += d.prefetch_range(black_box(&a), t);
+                black_box(d.counters().evictions)
+            })
+        });
+}
+
 /// End-to-end oversubscribed random point at 1/128 scale: every layer of
 /// the pipeline (engine, buffer, batching, prefetch, eviction) in one
 /// number.
@@ -133,6 +210,8 @@ criterion_group!(
     bench_batch_preprocess,
     bench_replay_retry,
     bench_mask_word_ops,
+    bench_mask_kernels,
+    bench_eviction_scan,
     bench_quick_point,
 );
 criterion_main!(hot_paths);

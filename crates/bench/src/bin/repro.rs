@@ -78,9 +78,11 @@
 //! (default `./repro-out`). `--threads N` sizes the rayon pool running
 //! the sweeps; results are deterministic and identical for every N.
 //! `--service-workers N` pins the intra-batch planning width inside each
-//! simulation point (default: auto = the rayon pool size); simulated
-//! output — stdout, tables, traces — is bit-identical for every value,
-//! and the per-phase wall-time split lands in `BENCH_hotpaths.json`.
+//! simulation point (default: auto, resolved to the rayon pool size
+//! before any sweep runs so the recorded telemetry is explicit);
+//! simulated output — stdout, tables, traces — is bit-identical for
+//! every value, and the per-phase wall-time split plus the sweep
+//! scheduler's queue/steal stats land in `BENCH_hotpaths.json`.
 
 use bench::experiments::{ablations, extras, figures, obs, tables, Artifact, Scale};
 use metrics::chrome;
@@ -449,9 +451,11 @@ fn cmd_regress(path: &str, threshold: f64, min_runs: usize) -> ! {
 }
 
 /// `repro trend-import <trend-file> <bench-json> <experiment>`: copy one
-/// experiment's perf record out of a `BENCH_hotpaths.json` report into
-/// the trend file's `ci_trend` array (the file is created when absent).
-/// This is how the nightly job appends a baseline entry without jq.
+/// named perf record out of a `BENCH_hotpaths.json` report — an
+/// `experiments` entry from `repro --json`, or a `bench-append`ed
+/// wall-time series — into the trend file's `ci_trend` array (the file
+/// is created when absent). This is how the nightly job appends a
+/// baseline entry without jq.
 fn cmd_trend_import(trend_path: &str, bench_path: &str, experiment: &str) -> ! {
     let bench_body = match std::fs::read_to_string(bench_path) {
         Ok(b) => b,
@@ -471,23 +475,40 @@ fn cmd_trend_import(trend_path: &str, bench_path: &str, experiment: &str) -> ! {
         eprintln!("error: {bench_path}: top level is not a JSON object");
         std::process::exit(1);
     };
-    let Some((_, Value::Seq(experiments))) =
-        bench_keys.iter().find(|(k, _)| k == "experiments")
-    else {
-        eprintln!("error: {bench_path}: no experiments array");
-        std::process::exit(1);
+    let find_named = |entries: &[Value]| -> Option<Vec<(String, Value)>> {
+        entries.iter().rev().find_map(|e| match e {
+            Value::Map(m)
+                if m.iter()
+                    .any(|(k, v)| k == "name" && *v == Value::Str(experiment.to_string())) =>
+            {
+                Some(m.clone())
+            }
+            _ => None,
+        })
     };
-    let record = experiments.iter().find_map(|e| match e {
-        Value::Map(m)
-            if m.iter()
-                .any(|(k, v)| k == "name" && *v == Value::Str(experiment.to_string())) =>
-        {
-            Some(m)
-        }
-        _ => None,
-    });
+    // Experiments written by `repro --json` carry the full perf record;
+    // `bench-append` series (traced wall times) live in the report's own
+    // `ci_trend` array with just name + wall_seconds. Accept either, so
+    // the nightly can gate every series it records. `rev()` takes the
+    // newest entry when a bench-append series repeats within one run.
+    let record = bench_keys
+        .iter()
+        .find(|(k, _)| k == "experiments")
+        .and_then(|(_, v)| match v {
+            Value::Seq(entries) => find_named(entries),
+            _ => None,
+        })
+        .or_else(|| {
+            bench_keys
+                .iter()
+                .find(|(k, _)| k == "ci_trend")
+                .and_then(|(_, v)| match v {
+                    Value::Seq(entries) => find_named(entries),
+                    _ => None,
+                })
+        });
     let Some(record) = record else {
-        eprintln!("error: {bench_path}: no experiment named `{experiment}`");
+        eprintln!("error: {bench_path}: no experiment or ci_trend entry named `{experiment}`");
         std::process::exit(1);
     };
     // The headline series the regress gate understands, plus the name.
@@ -497,6 +518,7 @@ fn cmd_trend_import(trend_path: &str, bench_path: &str, experiment: &str) -> ! {
         "faults_per_sec",
         "evictions_per_fault",
         "coverage_pct",
+        "max_straggler_ms",
     ];
     let entry = Value::Map(
         record
@@ -563,6 +585,14 @@ struct ExperimentPerf {
     plan_replans: u64,
     /// Service-planning workers the experiment's drivers ran with.
     service_workers: u64,
+    /// Sweep points executed across the experiment's sweeps.
+    sweep_points: u64,
+    /// Points executed by a worker they were not dealt to — the
+    /// work-stealing scheduler's rebalancing volume (0 at one thread).
+    points_stolen: u64,
+    /// Wall milliseconds of the single longest sweep point — the
+    /// straggler that lower-bounds sweep wall time at any thread count.
+    max_straggler_ms: f64,
 }
 
 /// The `BENCH_hotpaths.json` report `--json` writes alongside the tables.
@@ -570,7 +600,8 @@ struct ExperimentPerf {
 struct PerfReport {
     scale_denominator: f64,
     threads: usize,
-    /// `--service-workers` override (0 = auto: the rayon pool size).
+    /// Resolved `--service-workers` (auto resolves to the sweep thread
+    /// count before any sweep runs; never 0).
     service_workers: usize,
     experiments: Vec<ExperimentPerf>,
     total_wall_seconds: f64,
@@ -723,9 +754,16 @@ fn main() {
             .build_global()
             .expect("configure global thread pool");
     }
-    if service_workers > 0 {
-        obs::set_service_workers(service_workers);
-    }
+    // Resolve `--service-workers` auto (0) to the sweep thread count
+    // *here*, explicitly: every sweep point's driver config carries the
+    // resolved number, so the phase telemetry's worker split never
+    // silently inherits the ambient rayon pool size downstream.
+    let resolved_workers = if service_workers > 0 {
+        service_workers
+    } else {
+        rayon::current_num_threads().max(1)
+    };
+    obs::set_service_workers(resolved_workers);
     if trace_out.is_some() {
         obs::enable_tracing(trace_cap);
     }
@@ -768,12 +806,14 @@ fn main() {
     let mut perf = Vec::with_capacity(selected.len());
     bench::experiments::take_sim_totals(); // reset the work accumulator
     metrics::phase::take(); // reset the service-phase accumulator
+    metrics::sched::take(); // reset the sweep-scheduler accumulator
     for (name, f) in selected {
         let t0 = Instant::now();
         let artifact = f(scale);
         let wall = t0.elapsed().as_secs_f64();
         let totals = bench::experiments::take_sim_totals();
         let phase = metrics::phase::take();
+        let sched = metrics::sched::take();
         perf.push(ExperimentPerf {
             name: name.to_string(),
             wall_seconds: wall,
@@ -789,6 +829,9 @@ fn main() {
             worker_utilisation: phase.utilisation(),
             plan_replans: phase.plan_replans,
             service_workers: phase.workers,
+            sweep_points: sched.points,
+            points_stolen: sched.stolen,
+            max_straggler_ms: sched.max_point_wall_ns as f64 / 1e6,
         });
         out(&artifact.table.render());
         for (file, contents) in &artifact.csvs {
@@ -807,7 +850,7 @@ fn main() {
             // (interrupted, or killed by the nightly timeout) still
             // leaves every completed experiment's host-phase telemetry
             // on disk instead of reporting it only at process exit.
-            let path = write_perf_report(&out_dir, scale_den, service_workers, &perf, total0);
+            let path = write_perf_report(&out_dir, scale_den, resolved_workers, &perf, total0);
             out(&format!("  wrote {}", path.display()));
         }
         if let Some(dir) = &metrics_out {
@@ -868,7 +911,7 @@ fn main() {
     if json {
         // Final rewrite with the end-to-end wall time (the incremental
         // flushes above carried a still-growing total).
-        let path = write_perf_report(&out_dir, scale_den, service_workers, &perf, total0);
+        let path = write_perf_report(&out_dir, scale_den, resolved_workers, &perf, total0);
         out(&format!("  wrote {}", path.display()));
     }
 }

@@ -25,8 +25,10 @@ use uvm_sim::{SimConfig, SimReport, Workload};
 static TRACE_ENABLED: AtomicBool = AtomicBool::new(false);
 static SPAN_CAPACITY: AtomicUsize = AtomicUsize::new(metrics::DEFAULT_SPAN_CAPACITY);
 static PROGRESS: AtomicBool = AtomicBool::new(false);
-/// `--service-workers` override for every sweep point (0 = leave configs
-/// on auto; the simulator then resolves to the rayon pool size).
+/// `--service-workers` value applied to every sweep point. The harness
+/// resolves auto to the rayon pool size *before* arming this, so sweep
+/// configs never reach the simulator unresolved (an unresolved 0 would
+/// run serial there); 0 here only means the harness never armed it.
 static SERVICE_WORKERS: AtomicUsize = AtomicUsize::new(0);
 
 /// `--metrics-out` arming: when non-zero, every sweep point's driver gets

@@ -629,6 +629,10 @@ const TREND_METRICS: &[(&str, Direction)] = &[
     ("faults_per_sec", Direction::DownIsBad),
     ("evictions_per_fault", Direction::UpIsBad),
     ("coverage_pct", Direction::DownIsBad),
+    // Longest single sweep point (work-stealing scheduler's load-balance
+    // bound): a growing straggler means the point layout regressed even
+    // if total wall hides it behind better overlap.
+    ("max_straggler_ms", Direction::UpIsBad),
 ];
 
 /// One metric comparison from [`evaluate_trend`].
@@ -990,6 +994,32 @@ mod tests {
         let text = render_findings(&findings, 0.25);
         assert!(text.contains("REGRESSED"));
         assert!(text.contains("fig1"));
+    }
+
+    #[test]
+    fn regress_flags_straggler_growth() {
+        // A straggler-point blowup is a regression even when total wall
+        // holds steady (the scheduler hid it behind overlap).
+        let entry = |wall: f64, straggler: f64| {
+            Value::Map(vec![
+                ("name".to_string(), Value::Str("fig1".to_string())),
+                ("wall_seconds".to_string(), Value::F64(wall)),
+                ("max_straggler_ms".to_string(), Value::F64(straggler)),
+            ])
+        };
+        let doc = Value::Map(vec![(
+            "ci_trend".to_string(),
+            Value::Seq(vec![entry(10.0, 400.0), entry(10.0, 410.0), entry(10.1, 900.0)]),
+        )]);
+        let findings = evaluate_trend(&doc, 0.25, 2).expect("trend evaluates");
+        let straggler = findings
+            .iter()
+            .find(|f| f.metric == "max_straggler_ms")
+            .expect("straggler compared");
+        assert!(straggler.regressed, "900ms vs 405ms median is > 25%");
+        assert!(findings
+            .iter()
+            .any(|f| f.metric == "wall_seconds" && !f.regressed));
     }
 
     #[test]

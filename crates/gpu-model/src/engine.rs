@@ -29,6 +29,22 @@ use std::sync::Arc;
 pub trait Residency {
     /// True if `page` is resident (mapped) in GPU memory.
     fn is_resident(&self, page: GlobalPage) -> bool;
+
+    /// The 64-page residency word covering `page`: bit `p % 64` holds
+    /// the residency of page `(page & !63) + p % 64`. The retry scan
+    /// caches this word across consecutive accesses, so streaming
+    /// workloads pay one load per 64 pages instead of one per page;
+    /// oracles without a dense index inherit this per-bit assembly.
+    fn resident_word(&self, page: GlobalPage) -> u64 {
+        let base = page.0 & !63;
+        let mut w = 0u64;
+        for b in 0..64 {
+            if self.is_resident(GlobalPage(base + b)) {
+                w |= 1 << b;
+            }
+        }
+        w
+    }
 }
 
 /// GPU hardware configuration.
@@ -418,11 +434,29 @@ impl GpuEngine {
             let access_counters = &mut self.access_counters;
             let accessed = &mut self.accessed;
 
+            // Residency is immutable for the whole engine run, so one
+            // dense-index word can answer 64 consecutive pages. Streaming
+            // workloads walk pages in ascending runs; caching the current
+            // word turns their scans word-parallel (one load per 64
+            // pages) while costing random scans a single compare.
+            let mut cur_word_of: u64 = u64::MAX;
+            let mut cur_word: u64 = 0;
+            macro_rules! resident_cached {
+                ($page:expr) => {{
+                    let w = $page.0 / 64;
+                    if w != cur_word_of {
+                        cur_word_of = w;
+                        cur_word = residency.resident_word($page);
+                    }
+                    cur_word & (1u64 << ($page.0 % 64)) != 0
+                }};
+            }
+
             if pending.is_empty() {
                 // Fresh attempt: walk the trace step.
                 let step = self.cursor[idx] as usize;
                 for (page, write) in self.trace.blocks[idx].step(step) {
-                    if residency.is_resident(page) {
+                    if resident_cached!(page) {
                         counters.resident_accesses += 1;
                         if track {
                             access_counters.record(page.0);
@@ -445,7 +479,7 @@ impl GpuEngine {
                     let packed = pending[i];
                     let page = GlobalPage(packed & !WRITE_BIT);
                     let write = packed & WRITE_BIT != 0;
-                    if residency.is_resident(page) {
+                    if resident_cached!(page) {
                         counters.resident_accesses += 1;
                         if track {
                             access_counters.record(page.0);

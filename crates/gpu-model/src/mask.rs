@@ -204,6 +204,98 @@ impl PageMask {
         &self.words
     }
 
+    /// Number of set bits in the arbitrary (unaligned) span
+    /// `[start, start + len)`.
+    ///
+    /// The word-parallel counting complement of
+    /// [`set_span`](Self::set_span): partial first/last words are masked,
+    /// everything in between is a straight popcount — no per-bit loop and
+    /// no alignment requirement (unlike [`count_range`](Self::count_range)).
+    #[inline]
+    pub fn count_span(&self, start: usize, len: usize) -> usize {
+        debug_assert!(start + len <= PAGES_PER_VABLOCK);
+        if len == 0 {
+            return 0;
+        }
+        let end = start + len; // exclusive
+        let (w0, w1) = (start / 64, (end - 1) / 64);
+        let first = u64::MAX << (start % 64);
+        let last = u64::MAX >> (63 - (end - 1) % 64);
+        if w0 == w1 {
+            (self.words[w0] & first & last).count_ones() as usize
+        } else {
+            let mut n = (self.words[w0] & first).count_ones() as usize;
+            for w in &self.words[w0 + 1..w1] {
+                n += w.count_ones() as usize;
+            }
+            n + (self.words[w1] & last).count_ones() as usize
+        }
+    }
+
+    /// Index of the lowest set bit, or `None` if the mask is empty.
+    #[inline]
+    pub fn first_set(&self) -> Option<usize> {
+        for (wi, &w) in self.words.iter().enumerate() {
+            if w != 0 {
+                return Some(wi * 64 + w.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Index of the lowest set bit at or above `from`, or `None`.
+    ///
+    /// `trailing_zeros`-based: the word holding `from` is masked below
+    /// `from`, then whole zero words are skipped — so a sparse scan costs
+    /// one popcount-class instruction per 64 pages instead of 64 `get`s.
+    #[inline]
+    pub fn next_set(&self, from: usize) -> Option<usize> {
+        if from >= PAGES_PER_VABLOCK {
+            return None;
+        }
+        let w0 = from / 64;
+        let masked = self.words[w0] & (u64::MAX << (from % 64));
+        if masked != 0 {
+            return Some(w0 * 64 + masked.trailing_zeros() as usize);
+        }
+        for (wi, &w) in self.words.iter().enumerate().skip(w0 + 1) {
+            if w != 0 {
+                return Some(wi * 64 + w.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// In-place AND-NOT: clear every bit of `self` that is set in
+    /// `other` (absorption). `a.andnot_with(&b)` leaves `a == a \ b`
+    /// without materialising a temporary mask.
+    #[inline]
+    pub fn andnot_with(&mut self, other: &PageMask) {
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a &= !b;
+        }
+    }
+
+    /// `self ∩ other` popcount without materialising the intersection.
+    #[inline]
+    pub fn intersect_count(&self, other: &PageMask) -> usize {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// `self \ other` popcount without materialising the difference.
+    #[inline]
+    pub fn difference_count(&self, other: &PageMask) -> usize {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(a, b)| (a & !b).count_ones() as usize)
+            .sum()
+    }
+
     /// Iterate over indices of set bits, ascending.
     pub fn iter_set(&self) -> impl Iterator<Item = usize> + '_ {
         self.words.iter().enumerate().flat_map(|(wi, &w)| {
@@ -351,5 +443,142 @@ mod tests {
         }
         let collected: Vec<usize> = m.iter_set().collect();
         assert_eq!(collected, idxs);
+    }
+
+    #[test]
+    fn count_span_matches_naive_per_bit_loop() {
+        let mut m = PageMask::EMPTY;
+        for i in (0..512).step_by(3) {
+            m.set(i);
+        }
+        m.set(511);
+        let cases = [
+            (0, 0),
+            (7, 0),
+            (0, 1),
+            (3, 5),
+            (0, 64),
+            (60, 8),
+            (63, 2),
+            (1, 511),
+            (100, 300),
+            (448, 64),
+            (511, 1),
+            (0, 512),
+        ];
+        for &(start, len) in &cases {
+            let naive = (start..start + len).filter(|&i| m.get(i)).count();
+            assert_eq!(m.count_span(start, len), naive, "count_span({start}, {len})");
+        }
+    }
+
+    #[test]
+    fn first_and_next_set_walk_the_mask() {
+        assert_eq!(PageMask::EMPTY.first_set(), None);
+        assert_eq!(PageMask::EMPTY.next_set(0), None);
+        let mut m = PageMask::EMPTY;
+        let idxs = [3usize, 63, 64, 130, 511];
+        for &i in &idxs {
+            m.set(i);
+        }
+        assert_eq!(m.first_set(), Some(3));
+        // Walking with next_set(prev + 1) recovers iter_set exactly.
+        let mut walked = Vec::new();
+        let mut cur = m.first_set();
+        while let Some(i) = cur {
+            walked.push(i);
+            cur = m.next_set(i + 1);
+        }
+        assert_eq!(walked, idxs);
+        // next_set(from) with from already set returns from itself.
+        assert_eq!(m.next_set(64), Some(64));
+        assert_eq!(m.next_set(65), Some(130));
+        assert_eq!(m.next_set(512), None);
+    }
+
+    #[test]
+    fn andnot_and_fused_counts_match_materialised_ops() {
+        let mut a = PageMask::EMPTY;
+        let mut b = PageMask::EMPTY;
+        a.set_range(0, 64);
+        a.set(300);
+        b.set_range(32, 32);
+        b.set(301);
+        assert_eq!(a.intersect_count(&b), a.intersect(&b).count());
+        assert_eq!(a.difference_count(&b), a.difference(&b).count());
+        let mut c = a;
+        c.andnot_with(&b);
+        assert_eq!(c, a.difference(&b));
+    }
+
+    mod kernel_equivalence {
+        //! Proptest equivalence of the word-parallel kernels against a
+        //! naive bit-at-a-time reference (span counts, iteration order,
+        //! absorption) — the ISSUE-6 safety net for the mask rewrite.
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_mask() -> impl Strategy<Value = PageMask> {
+            proptest::collection::vec(any::<u64>(), WORDS).prop_map(|v| {
+                let mut m = PageMask::EMPTY;
+                for (wi, w) in v.into_iter().enumerate() {
+                    let mut bits = w;
+                    while bits != 0 {
+                        m.set(wi * 64 + bits.trailing_zeros() as usize);
+                        bits &= bits - 1;
+                    }
+                }
+                m
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            #[test]
+            fn count_span_equals_bit_loop(m in arb_mask(), start in 0usize..512, len in 0usize..=512) {
+                let len = len.min(512 - start);
+                let naive = (start..start + len).filter(|&i| m.get(i)).count();
+                prop_assert_eq!(m.count_span(start, len), naive);
+            }
+
+            #[test]
+            fn next_set_walk_equals_iter_set(m in arb_mask()) {
+                let via_iter: Vec<usize> = m.iter_set().collect();
+                let mut walked = Vec::new();
+                let mut cur = m.first_set();
+                while let Some(i) = cur {
+                    walked.push(i);
+                    cur = m.next_set(i + 1);
+                }
+                prop_assert_eq!(walked, via_iter);
+            }
+
+            #[test]
+            fn next_set_is_lowest_at_or_above(m in arb_mask(), from in 0usize..=512) {
+                let naive = (from..512).find(|&i| m.get(i));
+                prop_assert_eq!(m.next_set(from), naive);
+            }
+
+            #[test]
+            fn andnot_equals_difference(a in arb_mask(), b in arb_mask()) {
+                let mut fused = a;
+                fused.andnot_with(&b);
+                prop_assert_eq!(fused, a.difference(&b));
+                // Absorption: (a \ b) ∩ b = ∅ and (a \ b) ∪ (a ∩ b) = a.
+                prop_assert!(fused.intersect(&b).is_empty());
+                prop_assert_eq!(fused.union(&a.intersect(&b)), a);
+            }
+
+            #[test]
+            fn fused_counts_equal_materialised(a in arb_mask(), b in arb_mask()) {
+                prop_assert_eq!(a.intersect_count(&b), a.intersect(&b).count());
+                prop_assert_eq!(a.difference_count(&b), a.difference(&b).count());
+                prop_assert_eq!(
+                    a.intersect_count(&b) + a.difference_count(&b),
+                    a.count()
+                );
+            }
+        }
     }
 }

@@ -18,6 +18,8 @@
 //!   events per driver pass, bounded recorder, flame-style summaries.
 //! * [`phase`] — host wall-time split of the driver's two-phase batch
 //!   service (serial front vs parallel planning), for Amdahl tracking.
+//! * [`sched`] — host wall-time stats of the sweep's work-stealing point
+//!   scheduler (points stolen, max straggler), for load-balance tracking.
 //! * [`chrome`] — Chrome-trace/Perfetto JSON export of span traces plus a
 //!   validator for the trace-event-format invariants.
 //! * [`timeseries`] — bounded simulated-time sampling of the cumulative
@@ -41,6 +43,7 @@ pub mod exposition;
 pub mod histogram;
 pub mod phase;
 pub mod report;
+pub mod sched;
 pub mod span;
 pub mod timers;
 pub mod timeseries;
@@ -54,6 +57,7 @@ pub use counters::{CounterMetric, Counters, COUNTER_REGISTRY};
 pub use exposition::{Exposition, ExpositionStats, MetricDef, MetricKind};
 pub use histogram::Histogram;
 pub use phase::ServicePhaseWall;
+pub use sched::SweepSchedStats;
 pub use timeseries::{
     Sample, Timeseries, TimeseriesConfig, TimeseriesSampler, DEFAULT_SAMPLE_CAPACITY,
     DEFAULT_SAMPLE_INTERVAL_NS,

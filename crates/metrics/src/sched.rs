@@ -1,0 +1,110 @@
+//! Host wall-time accounting for the sweep's work-stealing point
+//! scheduler: how many points ran, how many were executed by a thread
+//! other than the one they were dealt to (steals), and the longest
+//! single point (the straggler that bounds sweep wall time).
+//!
+//! Like [`phase`](crate::phase), these are *host* measurements —
+//! deliberately kept out of serialized simulation results so simulated
+//! output stays bit-identical across thread counts and hosts. The sweep
+//! scheduler records one [`SweepSchedStats`] per sweep into the
+//! process-global totals; the `repro` harness drains them per experiment
+//! into `BENCH_hotpaths.json`, which is what makes the static-split vs
+//! work-stealing win measurable.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One sweep's (or experiment's) point-scheduler statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SweepSchedStats {
+    /// Simulation points executed.
+    pub points: u64,
+    /// Points executed by a worker they were not dealt to — each steal is
+    /// a point that would have waited behind a straggler under the static
+    /// split.
+    pub stolen: u64,
+    /// Wall nanoseconds of the single longest point — the straggler that
+    /// lower-bounds the sweep's wall time at any thread count.
+    pub max_point_wall_ns: u64,
+    /// Sweep worker threads (1 = serial; deques are not spun up).
+    pub threads: u64,
+}
+
+impl SweepSchedStats {
+    /// Merge another sweep's stats into this accumulator: counts add,
+    /// the straggler and thread width take the max.
+    pub fn merge(&mut self, o: &SweepSchedStats) {
+        self.points += o.points;
+        self.stolen += o.stolen;
+        self.max_point_wall_ns = self.max_point_wall_ns.max(o.max_point_wall_ns);
+        self.threads = self.threads.max(o.threads);
+    }
+}
+
+static POINTS: AtomicU64 = AtomicU64::new(0);
+static STOLEN: AtomicU64 = AtomicU64::new(0);
+static MAX_POINT_WALL_NS: AtomicU64 = AtomicU64::new(0);
+static THREADS_MAX: AtomicU64 = AtomicU64::new(0);
+
+/// Add one sweep's stats to the process-global totals (thread-safe).
+pub fn record(s: &SweepSchedStats) {
+    POINTS.fetch_add(s.points, Ordering::Relaxed);
+    STOLEN.fetch_add(s.stolen, Ordering::Relaxed);
+    MAX_POINT_WALL_NS.fetch_max(s.max_point_wall_ns, Ordering::Relaxed);
+    THREADS_MAX.fetch_max(s.threads, Ordering::Relaxed);
+}
+
+/// Drain the process-global totals, resetting them to zero. The `repro`
+/// harness calls this after each experiment.
+pub fn take() -> SweepSchedStats {
+    SweepSchedStats {
+        points: POINTS.swap(0, Ordering::Relaxed),
+        stolen: STOLEN.swap(0, Ordering::Relaxed),
+        max_point_wall_ns: MAX_POINT_WALL_NS.swap(0, Ordering::Relaxed),
+        threads: THREADS_MAX.swap(0, Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_counts_and_maxes_straggler() {
+        let mut a = SweepSchedStats {
+            points: 4,
+            stolen: 1,
+            max_point_wall_ns: 100,
+            threads: 2,
+        };
+        let b = SweepSchedStats {
+            points: 6,
+            stolen: 0,
+            max_point_wall_ns: 50,
+            threads: 8,
+        };
+        a.merge(&b);
+        assert_eq!(a.points, 10);
+        assert_eq!(a.stolen, 1);
+        assert_eq!(a.max_point_wall_ns, 100);
+        assert_eq!(a.threads, 8);
+    }
+
+    // `record`/`take` touch process-global state shared with other tests
+    // in this binary, so only the at-least invariant is asserted.
+    #[test]
+    fn record_take_roundtrip() {
+        let s = SweepSchedStats {
+            points: 3,
+            stolen: 2,
+            max_point_wall_ns: 77,
+            threads: 4,
+        };
+        record(&s);
+        let got = take();
+        assert!(got.points >= 3);
+        assert!(got.stolen >= 2);
+        assert!(got.max_point_wall_ns >= 77);
+        assert!(got.threads >= 4);
+    }
+}

@@ -5,6 +5,17 @@
 //! [`ManagedSpace`] is the single source of truth for page residency: the
 //! GPU engine queries it through the [`Residency`] trait on every access,
 //! and the driver mutates it while servicing faults and evicting blocks.
+//!
+//! ## Layout: structure-of-arrays
+//!
+//! Per-VABlock state is stored as parallel arrays keyed by block index,
+//! not as one ~300-byte struct per block. The hot paths each read a small,
+//! disjoint subset of the fields — gather probes `valid`/`resident`/
+//! `touched`, service planning reads `valid`/`resident`/`backed`, the
+//! eviction scan walks `resident`/`dirty`/`touched`/`backed` — so splitting
+//! the fields keeps each pass striding contiguous 64-byte masks of just
+//! the arrays it needs instead of dragging the cold provenance masks
+//! (`prefetched_ever`, `evicted_*`) through the cache on every fault.
 
 use gpu_model::{GlobalPage, PageMask, Residency, VaBlockIdx};
 use serde::{Deserialize, Serialize};
@@ -36,23 +47,24 @@ impl VaRange {
     }
 }
 
-/// Driver-side state of one VABlock.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
-pub struct VaBlockState {
-    /// Pages of this block that belong to a live allocation (a range's
+/// Words of the dense residency index covering one VABlock (512 pages).
+const WORDS_PER_BLOCK: usize = PAGES_PER_VABLOCK / 64;
+
+/// The managed virtual address space: ranges, per-VABlock state in SoA
+/// form, and the dense residency index.
+#[derive(Debug, Clone, Default)]
+pub struct ManagedSpace {
+    ranges: Vec<VaRange>,
+    // Hot arrays — touched on every fault batch.
+    /// Pages of each block that belong to a live allocation (a range's
     /// final block may be partial).
-    pub valid: PageMask,
+    valid: Vec<PageMask>,
     /// Pages currently resident (mapped) on the GPU.
-    pub resident: PageMask,
+    resident: Vec<PageMask>,
     /// Pages dirtied by write faults (must be written back on eviction).
-    pub dirty: PageMask,
+    dirty: Vec<PageMask>,
     /// Pages with physical backing allocated on the GPU.
-    pub backed: PageMask,
-    /// Pages that were ever brought in by the prefetcher (fault-path
-    /// density prefetch or explicit hints) rather than by their own
-    /// fault. Never cleared by eviction — feeds the prefetch-waste
-    /// analysis (paper §VI-A: prefetched data may be evicted unused).
-    pub prefetched_ever: PageMask,
+    backed: Vec<PageMask>,
     /// Pages the GPU actually accessed during their *current* residency:
     /// set when a page's own fault establishes residency, or when a
     /// resident page absorbs a stale fault entry at gather. Cleared on
@@ -60,49 +72,33 @@ pub struct VaBlockState {
     /// is exactly "arrived via prefetch, never used yet", which is what
     /// classifies `PrefetchEvicted` at eviction time — no separate
     /// prefetch mask is needed.
-    pub touched: PageMask,
+    touched: Vec<PageMask>,
+    // Cold arrays — provenance bookkeeping read only at eviction/commit
+    // attribution and end-of-run analysis.
+    /// Pages that were ever brought in by the prefetcher (fault-path
+    /// density prefetch or explicit hints) rather than by their own
+    /// fault. Never cleared by eviction — feeds the prefetch-waste
+    /// analysis (paper §VI-A: prefetched data may be evicted unused).
+    prefetched_ever: Vec<PageMask>,
     /// Pages evicted at least once since allocation (or since a host
     /// migration reset their history). A faulting page in this mask is
     /// an `EvictionRefault`, not a `ColdFirstTouch`.
-    pub evicted_ever: PageMask,
+    evicted_ever: Vec<PageMask>,
     /// Per-page verdict of the *most recent* eviction: set if the page
     /// was evicted untouched (evict-before-use), cleared if it had been
     /// used. Refaults landing in this mask close the paper's
     /// prefetch→evict-unused→refault antagonism loop.
-    pub evicted_unused: PageMask,
-    /// Times this block has been evicted — the eviction *generation
+    evicted_unused: Vec<PageMask>,
+    /// Times each block has been evicted — the eviction *generation
     /// stamp*: the provenance masks above describe history as of
     /// generation `eviction_count`, and the service path uses the same
     /// counter as its staleness epoch.
-    pub eviction_count: u32,
-}
-
-impl VaBlockState {
-    /// Bytes of GPU physical memory this block currently holds.
-    pub fn backed_pages(&self) -> usize {
-        self.backed.count()
-    }
-
-    /// True if the block holds no GPU physical memory.
-    pub fn is_unbacked(&self) -> bool {
-        self.backed.is_empty()
-    }
-}
-
-/// Words of the dense residency index covering one VABlock (512 pages).
-const WORDS_PER_BLOCK: usize = PAGES_PER_VABLOCK / 64;
-
-/// The managed virtual address space: ranges, VABlocks, residency.
-#[derive(Debug, Clone, Default)]
-pub struct ManagedSpace {
-    ranges: Vec<VaRange>,
-    blocks: Vec<VaBlockState>,
+    eviction_count: Vec<u32>,
     /// Dense residency index: one bit per page of the whole space, kept in
     /// sync with the per-block `resident` masks by
     /// [`sync_block_residency`](Self::sync_block_residency). The engine
     /// queries residency on every page access of every replay retry, and
-    /// this flat array keeps that hot read inside a few cache lines
-    /// instead of striding across the 300-byte block states.
+    /// this flat array keeps that hot read inside a few cache lines.
     resident_bits: Vec<u64>,
 }
 
@@ -117,23 +113,30 @@ impl ManagedSpace {
     pub fn alloc(&mut self, bytes: u64, name: impl Into<String>) -> VaRange {
         assert!(bytes > 0, "zero-byte allocation");
         let num_pages = pages_for_bytes(bytes);
-        let start_page = (self.blocks.len() * PAGES_PER_VABLOCK) as u64;
+        let start_page = (self.num_blocks() * PAGES_PER_VABLOCK) as u64;
         let num_blocks = num_pages.div_ceil(PAGES_PER_VABLOCK as u64);
         for b in 0..num_blocks {
-            let mut st = VaBlockState::default();
             let first = b * PAGES_PER_VABLOCK as u64;
             let valid_in_block = (num_pages - first).min(PAGES_PER_VABLOCK as u64) as usize;
-            if valid_in_block == PAGES_PER_VABLOCK {
-                st.valid = PageMask::FULL;
+            let valid = if valid_in_block == PAGES_PER_VABLOCK {
+                PageMask::FULL
             } else {
-                for i in 0..valid_in_block {
-                    st.valid.set(i);
-                }
-            }
-            self.blocks.push(st);
+                let mut m = PageMask::EMPTY;
+                m.set_span(0, valid_in_block);
+                m
+            };
+            self.valid.push(valid);
+            self.resident.push(PageMask::EMPTY);
+            self.dirty.push(PageMask::EMPTY);
+            self.backed.push(PageMask::EMPTY);
+            self.touched.push(PageMask::EMPTY);
+            self.prefetched_ever.push(PageMask::EMPTY);
+            self.evicted_ever.push(PageMask::EMPTY);
+            self.evicted_unused.push(PageMask::EMPTY);
+            self.eviction_count.push(0);
         }
         self.resident_bits
-            .resize(self.blocks.len() * WORDS_PER_BLOCK, 0);
+            .resize(self.num_blocks() * WORDS_PER_BLOCK, 0);
         let range = VaRange {
             name: name.into(),
             start_page,
@@ -150,7 +153,7 @@ impl ManagedSpace {
 
     /// Number of VABlocks in the space.
     pub fn num_blocks(&self) -> usize {
-        self.blocks.len()
+        self.valid.len()
     }
 
     /// Total valid pages across all ranges.
@@ -158,19 +161,137 @@ impl ManagedSpace {
         self.ranges.iter().map(|r| r.num_pages).sum()
     }
 
-    /// Borrow a block's state.
-    pub fn block(&self, idx: VaBlockIdx) -> &VaBlockState {
-        &self.blocks[idx.0 as usize]
+    /// A block's valid-page mask (immutable for the block's lifetime).
+    #[inline]
+    pub fn valid(&self, idx: VaBlockIdx) -> &PageMask {
+        &self.valid[idx.0 as usize]
     }
 
-    /// Mutably borrow a block's state.
-    pub fn block_mut(&mut self, idx: VaBlockIdx) -> &mut VaBlockState {
-        &mut self.blocks[idx.0 as usize]
+    /// A block's resident-page mask.
+    #[inline]
+    pub fn resident(&self, idx: VaBlockIdx) -> &PageMask {
+        &self.resident[idx.0 as usize]
+    }
+
+    /// Mutable resident mask. Callers must
+    /// [`sync_block_residency`](Self::sync_block_residency) afterwards.
+    #[inline]
+    pub fn resident_mut(&mut self, idx: VaBlockIdx) -> &mut PageMask {
+        &mut self.resident[idx.0 as usize]
+    }
+
+    /// A block's dirty-page mask.
+    #[inline]
+    pub fn dirty(&self, idx: VaBlockIdx) -> &PageMask {
+        &self.dirty[idx.0 as usize]
+    }
+
+    /// Mutable dirty mask.
+    #[inline]
+    pub fn dirty_mut(&mut self, idx: VaBlockIdx) -> &mut PageMask {
+        &mut self.dirty[idx.0 as usize]
+    }
+
+    /// A block's physically-backed mask.
+    #[inline]
+    pub fn backed(&self, idx: VaBlockIdx) -> &PageMask {
+        &self.backed[idx.0 as usize]
+    }
+
+    /// Mutable backed mask.
+    #[inline]
+    pub fn backed_mut(&mut self, idx: VaBlockIdx) -> &mut PageMask {
+        &mut self.backed[idx.0 as usize]
+    }
+
+    /// A block's touched-during-residency mask.
+    #[inline]
+    pub fn touched(&self, idx: VaBlockIdx) -> &PageMask {
+        &self.touched[idx.0 as usize]
+    }
+
+    /// Mutable touched mask.
+    #[inline]
+    pub fn touched_mut(&mut self, idx: VaBlockIdx) -> &mut PageMask {
+        &mut self.touched[idx.0 as usize]
+    }
+
+    /// A block's ever-prefetched mask.
+    #[inline]
+    pub fn prefetched_ever(&self, idx: VaBlockIdx) -> &PageMask {
+        &self.prefetched_ever[idx.0 as usize]
+    }
+
+    /// Mutable ever-prefetched mask.
+    #[inline]
+    pub fn prefetched_ever_mut(&mut self, idx: VaBlockIdx) -> &mut PageMask {
+        &mut self.prefetched_ever[idx.0 as usize]
+    }
+
+    /// A block's ever-evicted mask.
+    #[inline]
+    pub fn evicted_ever(&self, idx: VaBlockIdx) -> &PageMask {
+        &self.evicted_ever[idx.0 as usize]
+    }
+
+    /// Mutable ever-evicted mask.
+    #[inline]
+    pub fn evicted_ever_mut(&mut self, idx: VaBlockIdx) -> &mut PageMask {
+        &mut self.evicted_ever[idx.0 as usize]
+    }
+
+    /// A block's evicted-unused mask (most recent eviction's verdict).
+    #[inline]
+    pub fn evicted_unused(&self, idx: VaBlockIdx) -> &PageMask {
+        &self.evicted_unused[idx.0 as usize]
+    }
+
+    /// Mutable evicted-unused mask.
+    #[inline]
+    pub fn evicted_unused_mut(&mut self, idx: VaBlockIdx) -> &mut PageMask {
+        &mut self.evicted_unused[idx.0 as usize]
+    }
+
+    /// The block's eviction generation stamp.
+    #[inline]
+    pub fn eviction_count(&self, idx: VaBlockIdx) -> u32 {
+        self.eviction_count[idx.0 as usize]
+    }
+
+    /// Advance the block's eviction generation stamp by one.
+    #[inline]
+    pub fn bump_eviction_count(&mut self, idx: VaBlockIdx) {
+        self.eviction_count[idx.0 as usize] += 1;
+    }
+
+    /// Pages of GPU physical memory this block currently holds.
+    #[inline]
+    pub fn backed_pages(&self, idx: VaBlockIdx) -> usize {
+        self.backed[idx.0 as usize].count()
+    }
+
+    /// True if the block holds no GPU physical memory.
+    #[inline]
+    pub fn is_unbacked(&self, idx: VaBlockIdx) -> bool {
+        self.backed[idx.0 as usize].is_empty()
+    }
+
+    /// Clear the block's hot residency state (`resident`, `dirty`,
+    /// `touched`, `backed`) in one stride — the eviction/unmap reset.
+    /// Callers must [`sync_block_residency`](Self::sync_block_residency)
+    /// afterwards.
+    #[inline]
+    pub fn clear_block_hot(&mut self, idx: VaBlockIdx) {
+        let i = idx.0 as usize;
+        self.resident[i] = PageMask::EMPTY;
+        self.dirty[i] = PageMask::EMPTY;
+        self.touched[i] = PageMask::EMPTY;
+        self.backed[i] = PageMask::EMPTY;
     }
 
     /// Count of currently resident pages across the space (diagnostic).
     pub fn resident_pages(&self) -> u64 {
-        self.blocks.iter().map(|b| b.resident.count() as u64).sum()
+        self.resident.iter().map(|m| m.count() as u64).sum()
     }
 
     /// Refresh the dense residency index for `idx` from its block's
@@ -180,13 +301,13 @@ impl ManagedSpace {
     pub fn sync_block_residency(&mut self, idx: VaBlockIdx) {
         let w0 = idx.0 as usize * WORDS_PER_BLOCK;
         self.resident_bits[w0..w0 + WORDS_PER_BLOCK]
-            .copy_from_slice(self.blocks[idx.0 as usize].resident.words());
+            .copy_from_slice(self.resident[idx.0 as usize].words());
     }
 
     /// True if `page` belongs to some allocation.
     pub fn is_valid(&self, page: GlobalPage) -> bool {
         let vb = page.vablock().0 as usize;
-        vb < self.blocks.len() && self.blocks[vb].valid.get(page.offset_in_vablock())
+        vb < self.valid.len() && self.valid[vb].get(page.offset_in_vablock())
     }
 }
 
@@ -200,13 +321,18 @@ impl Residency for ManagedSpace {
         // means a mutation site forgot to call `sync_block_residency`.
         debug_assert_eq!(
             hit,
-            self.blocks[page.vablock().0 as usize]
-                .resident
-                .get(page.offset_in_vablock()),
+            self.resident[page.vablock().0 as usize].get(page.offset_in_vablock()),
             "dense residency index out of sync for page {}",
             page.0
         );
         hit
+    }
+
+    #[inline]
+    fn resident_word(&self, page: GlobalPage) -> u64 {
+        let w = page.0 as usize / 64;
+        debug_assert!(w < self.resident_bits.len(), "access outside managed space");
+        self.resident_bits[w]
     }
 }
 
@@ -237,8 +363,8 @@ mod tests {
         let mut s = ManagedSpace::new();
         s.alloc(VABLOCK_SIZE + PAGE_SIZE, "a"); // 513 pages
         assert_eq!(s.num_blocks(), 2);
-        assert!(s.block(VaBlockIdx(0)).valid.is_full());
-        assert_eq!(s.block(VaBlockIdx(1)).valid.count(), 1);
+        assert!(s.valid(VaBlockIdx(0)).is_full());
+        assert_eq!(s.valid(VaBlockIdx(1)).count(), 1);
         assert!(s.is_valid(GlobalPage(512)));
         assert!(!s.is_valid(GlobalPage(513)));
     }
@@ -249,10 +375,38 @@ mod tests {
         s.alloc(VABLOCK_SIZE, "a");
         let p = GlobalPage(37);
         assert!(!s.is_resident(p));
-        s.block_mut(VaBlockIdx(0)).resident.set(37);
+        s.resident_mut(VaBlockIdx(0)).set(37);
         s.sync_block_residency(VaBlockIdx(0));
         assert!(s.is_resident(p));
         assert_eq!(s.resident_pages(), 1);
+    }
+
+    #[test]
+    fn soa_accessors_cover_all_fields() {
+        let mut s = ManagedSpace::new();
+        s.alloc(VABLOCK_SIZE, "a");
+        let vb = VaBlockIdx(0);
+        s.resident_mut(vb).set(1);
+        s.dirty_mut(vb).set(1);
+        s.touched_mut(vb).set(1);
+        s.backed_mut(vb).set_range(0, 16);
+        s.prefetched_ever_mut(vb).set(2);
+        s.evicted_ever_mut(vb).set(3);
+        s.evicted_unused_mut(vb).set(3);
+        s.bump_eviction_count(vb);
+        assert!(s.resident(vb).get(1) && s.dirty(vb).get(1) && s.touched(vb).get(1));
+        assert_eq!(s.backed_pages(vb), 16);
+        assert!(!s.is_unbacked(vb));
+        assert!(s.prefetched_ever(vb).get(2));
+        assert!(s.evicted_ever(vb).get(3) && s.evicted_unused(vb).get(3));
+        assert_eq!(s.eviction_count(vb), 1);
+        s.clear_block_hot(vb);
+        s.sync_block_residency(vb);
+        assert!(s.resident(vb).is_empty() && s.dirty(vb).is_empty());
+        assert!(s.touched(vb).is_empty() && s.is_unbacked(vb));
+        // Cold provenance arrays survive the hot-state reset.
+        assert!(s.prefetched_ever(vb).get(2) && s.evicted_ever(vb).get(3));
+        assert_eq!(s.eviction_count(vb), 1);
     }
 
     #[test]

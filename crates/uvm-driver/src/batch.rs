@@ -104,25 +104,24 @@ pub fn gather_into(
     for e in &arena.entries {
         let vb = e.page.vablock();
         let off = e.page.offset_in_vablock();
-        let st = space.block(vb);
-        debug_assert!(st.valid.get(off), "fault outside any allocation");
-        if !st.valid.get(off) {
+        debug_assert!(space.valid(vb).get(off), "fault outside any allocation");
+        if !space.valid(vb).get(off) {
             // Release-mode hardening: a malformed trace faulting outside
             // any allocation is dropped as spurious rather than allowed
             // to corrupt residency bookkeeping.
             batch.duplicates += 1;
             continue;
         }
-        if st.resident.get(off) {
+        if space.resident(vb).get(off) {
             // Stale entry: the page was serviced by an earlier batch (the
             // Batch/Block policies leave such entries behind) — or, if the
             // page arrived via prefetch and was never accessed, the
             // prefetcher beat the fault: a PrefetchHit. `touched` is not
             // part of the dense residency index, so no sync is needed.
             batch.duplicates += 1;
-            if !st.touched.get(off) {
+            if !space.touched(vb).get(off) {
                 batch.prefetch_hits += 1;
-                space.block_mut(vb).touched.set(off);
+                space.touched_mut(vb).set(off);
             }
             continue;
         }
@@ -212,7 +211,7 @@ mod tests {
     #[test]
     fn resident_pages_are_stale_duplicates() {
         let (mut buf, mut space) = setup(&[(7, AccessType::Read), (9, AccessType::Read)]);
-        space.block_mut(VaBlockIdx(0)).resident.set(7);
+        space.resident_mut(VaBlockIdx(0)).set(7);
         let b = gather(&mut buf, 256, late(), &mut space);
         assert_eq!(b.duplicates, 1);
         assert_eq!(b.new_fault_pages(), 1);
@@ -226,19 +225,18 @@ mod tests {
         // the GPU's fault raced the migration — a PrefetchHit, after which
         // the page counts as touched.
         let (mut buf, mut space) = setup(&[(7, AccessType::Read)]);
-        space.block_mut(VaBlockIdx(0)).resident.set(7);
+        space.resident_mut(VaBlockIdx(0)).set(7);
         let b = gather(&mut buf, 256, late(), &mut space);
         assert_eq!(b.duplicates, 1);
         assert_eq!(b.prefetch_hits, 1);
-        assert!(space.block(VaBlockIdx(0)).touched.get(7));
+        assert!(space.touched(VaBlockIdx(0)).get(7));
     }
 
     #[test]
     fn stale_entry_on_touched_page_is_a_replay_duplicate() {
         let (mut buf, mut space) = setup(&[(7, AccessType::Read)]);
-        let st = space.block_mut(VaBlockIdx(0));
-        st.resident.set(7);
-        st.touched.set(7);
+        space.resident_mut(VaBlockIdx(0)).set(7);
+        space.touched_mut(VaBlockIdx(0)).set(7);
         let b = gather(&mut buf, 256, late(), &mut space);
         assert_eq!(b.duplicates, 1);
         assert_eq!(b.prefetch_hits, 0, "already-touched page is a replay duplicate");

@@ -59,9 +59,11 @@ pub struct DriverConfig {
     pub thrash: ThrashConfig,
     /// Worker threads for the parallel service-planning half of a batch
     /// (including the driver thread itself). 1 = fully serial; 0 = auto,
-    /// resolved by the simulation harness to its thread-pool size (the
-    /// driver itself treats an unresolved 0 as 1). Any value produces
-    /// bit-identical simulated output — only host wall time changes.
+    /// which the simulation harness resolves to an explicit thread count
+    /// *before* constructing the driver (so telemetry never depends on
+    /// the ambient pool size); the driver itself treats an unresolved 0
+    /// as 1. Any value produces bit-identical simulated output — only
+    /// host wall time changes.
     #[serde(default)]
     pub service_workers: usize,
     /// Simulated-time telemetry sampling (off by default; when on, the
@@ -483,7 +485,7 @@ impl UvmDriver {
         );
 
         let mut replanned = ServicePlan::default();
-        let plan = if self.space.block(vb).eviction_count != plan.eviction_epoch {
+        let plan = if self.space.eviction_count(vb) != plan.eviction_epoch {
             self.phase_wall.plan_replans += 1;
             plan_group(
                 &self.space,
@@ -506,7 +508,7 @@ impl UvmDriver {
         }
         // A fault on a block that has been evicted before is a refault:
         // feed the thrashing detector, which may pin the block.
-        if self.space.block(vb).eviction_count > 0 && self.thrash.note_refault(vb) {
+        if self.space.eviction_count(vb) > 0 && self.thrash.note_refault(vb) {
             self.counters.thrash_pins += 1;
             self.spans.instant(SpanKind::ThrashPin, now + t, vb.0, 0);
         }
@@ -514,7 +516,10 @@ impl UvmDriver {
         // Physical backing at the configured granularity, lazily per
         // sub-region; evict (other) blocks when memory is exhausted. The
         // plan's unit scan stays valid even if an eviction fires mid-loop:
-        // `evict_one` never touches the block being serviced.
+        // the eviction scan never touches the block being serviced. On
+        // exhaustion the allocator reports the exact shortfall, and one
+        // batched scan frees that much in a single LRU pass instead of
+        // re-probing the allocator after every victim.
         let g = self.cfg.alloc_granularity_pages;
         for unit in plan.units_to_back.iter_set() {
             let unit_start = unit * g;
@@ -533,12 +538,12 @@ impl UvmDriver {
                         self.counters.pma_calls += grant.calls;
                         break;
                     }
-                    Err(_) => {
-                        t += self.evict_one(vb, now + t);
+                    Err(e) => {
+                        t += self.evict_batch(vb, e.shortfall(), now + t);
                     }
                 }
             }
-            self.space.block_mut(vb).backed.set_range(unit_start, g);
+            self.space.backed_mut(vb).set_range(unit_start, g);
             // Newly allocated memory is zeroed before use.
             t += self.charge_span(
                 Category::ServiceMigrate,
@@ -580,22 +585,22 @@ impl UvmDriver {
         // arrive *untouched*, which is what lets a later eviction call
         // them out as `PrefetchEvicted`.
         {
-            let st = self.space.block_mut(vb);
-            let refault = plan.faulted.intersect(&st.evicted_ever);
-            let refault_unused = refault.intersect(&st.evicted_unused);
+            let refault = plan.faulted.intersect(self.space.evicted_ever(vb));
             let n_faulted = plan.faulted.count() as u64;
             let n_refault = refault.count() as u64;
-            let n_unused = refault_unused.count() as u64;
+            // Fused popcount: |refault ∩ evicted_unused| without the
+            // intermediate mask.
+            let n_unused = refault.intersect_count(self.space.evicted_unused(vb)) as u64;
             self.attribution.cold_faults += n_faulted - n_refault;
             self.attribution.refault_used_faults += n_refault - n_unused;
             self.attribution.refault_unused_faults += n_unused;
             self.attribution.prefetch_pages += plan.prefetch.count() as u64;
             self.block_stats[vb.0 as usize].refault_faults += n_refault;
-            st.touched.or_with(&plan.faulted);
-            st.resident.or_with(&plan.to_migrate);
-            st.prefetched_ever.or_with(&plan.prefetch);
+            self.space.touched_mut(vb).or_with(&plan.faulted);
+            self.space.resident_mut(vb).or_with(&plan.to_migrate);
+            self.space.prefetched_ever_mut(vb).or_with(&plan.prefetch);
             let dirty_new = group.write_mask.intersect(&plan.faulted);
-            st.dirty.or_with(&dirty_new);
+            self.space.dirty_mut(vb).or_with(&dirty_new);
         }
         // The persistent tree mirrors `resident`; the migrated pages are
         // disjoint from the pre-commit residency by construction. Dense
@@ -605,14 +610,13 @@ impl UvmDriver {
         // maintenance entirely.
         if self.maintain_trees {
             if plan.pages > DensityTree::DENSE_REBUILD_CUTOFF as u64 {
-                self.trees[vb.0 as usize] =
-                    DensityTree::from_mask(&self.space.block(vb).resident);
+                self.trees[vb.0 as usize] = DensityTree::from_mask(self.space.resident(vb));
             } else {
                 self.trees[vb.0 as usize].add_mask(&plan.to_migrate);
             }
             debug_assert_eq!(
                 self.trees[vb.0 as usize],
-                DensityTree::from_mask(&self.space.block(vb).resident),
+                DensityTree::from_mask(self.space.resident(vb)),
                 "persistent density tree diverged from residency"
             );
         }
@@ -645,11 +649,32 @@ impl UvmDriver {
         (t, n)
     }
 
-    /// Evict the least-recently-used VABlock (never `exclude`, the block
-    /// currently being serviced). Dirty pages are written back; backing
-    /// returns to the PMA cache; the faulting path restart cost is
-    /// charged (paper §V-A2 "direct costs").
-    fn evict_one(&mut self, exclude: VaBlockIdx, now: SimTime) -> SimDuration {
+    /// Evict enough least-recently-used VABlocks (never `exclude`, the
+    /// block currently being serviced) to free at least `shortfall` bytes
+    /// of backing in one batched scan. The per-fault path used to re-run
+    /// the allocator after every single victim; a service batch knows its
+    /// deficit up front (`PmaExhausted::shortfall`), so the scan keeps
+    /// selecting victims until the deficit is covered and the retry is
+    /// guaranteed to succeed. Each selection preserves the single-victim
+    /// semantics exactly (pin skips re-enter as MRU per selection, same
+    /// panic on exhaustion), so the eviction order — and therefore every
+    /// simulated output — is bit-identical to the per-fault path.
+    fn evict_batch(&mut self, exclude: VaBlockIdx, shortfall: u64, now: SimTime) -> SimDuration {
+        let mut t = SimDuration::ZERO;
+        let mut freed = 0u64;
+        while freed < shortfall {
+            let (cost, bytes) = self.evict_next(exclude, now + t);
+            t += cost;
+            freed += bytes;
+        }
+        t
+    }
+
+    /// Select and evict the least-recently-used VABlock (never
+    /// `exclude`). Dirty pages are written back; backing returns to the
+    /// PMA cache; the faulting path restart cost is charged (paper §V-A2
+    /// "direct costs"). Returns the cost and the backing bytes freed.
+    fn evict_next(&mut self, exclude: VaBlockIdx, now: SimTime) -> (SimDuration, u64) {
         let mut victim = None;
         let mut skipped_exclude = false;
         let mut skipped_pinned = std::mem::take(&mut self.evict_skipped);
@@ -673,9 +698,7 @@ impl UvmDriver {
         if victim.is_none() {
             victim = skipped_pinned.pop();
         }
-        for v in skipped_pinned.drain(..).rev() {
-            self.lru.touch(v);
-        }
+        self.lru.reinsert_skipped(&mut skipped_pinned);
         self.evict_skipped = skipped_pinned;
         if skipped_exclude {
             // The faulting block goes back as MRU; it is being serviced.
@@ -688,31 +711,32 @@ impl UvmDriver {
                 self.pma.capacity()
             )
         });
+        self.evict_victim(victim, now)
+    }
 
-        let (dirty_pages, resident_pages, backed_pages, unused_pages) = {
-            let st = self.space.block_mut(victim);
-            let dirty = st.dirty.intersect(&st.resident).count() as u64;
-            let resident = st.resident.count() as u64;
-            let backed = st.backed.count() as u64;
-            // Provenance: split the evicted pages by the touched-bit.
-            // `resident ∖ touched` is exactly "arrived via prefetch,
-            // never accessed" — the paper's prefetch–eviction antagonism
-            // (`PrefetchEvicted`). Record each page's verdict in
-            // `evicted_unused` (most recent eviction wins) so a refault
-            // can tell evict-before-use churn from working-set churn,
-            // and bump the generation stamp the masks are relative to.
-            let used = st.resident.intersect(&st.touched);
-            let unused = st.resident.difference(&st.touched);
-            st.evicted_ever.or_with(&st.resident);
-            st.evicted_unused.or_with(&unused);
-            st.evicted_unused = st.evicted_unused.difference(&used);
-            st.touched = PageMask::EMPTY;
-            st.resident = PageMask::EMPTY;
-            st.dirty = PageMask::EMPTY;
-            st.backed = PageMask::EMPTY;
-            st.eviction_count += 1;
-            (dirty, resident, backed, unused.count() as u64)
-        };
+    /// Tear down `victim`: provenance verdicts, mask clears, writeback,
+    /// PMA free, counters, trace. Returns the cost and bytes freed.
+    fn evict_victim(&mut self, victim: VaBlockIdx, now: SimTime) -> (SimDuration, u64) {
+        let resident = *self.space.resident(victim);
+        let dirty_pages = self.space.dirty(victim).intersect_count(&resident) as u64;
+        let resident_pages = resident.count() as u64;
+        let backed_pages = self.space.backed_pages(victim) as u64;
+        // Provenance: split the evicted pages by the touched-bit.
+        // `resident ∖ touched` is exactly "arrived via prefetch,
+        // never accessed" — the paper's prefetch–eviction antagonism
+        // (`PrefetchEvicted`). Record each page's verdict in
+        // `evicted_unused` (most recent eviction wins) so a refault
+        // can tell evict-before-use churn from working-set churn,
+        // and bump the generation stamp the masks are relative to.
+        let used = resident.intersect(self.space.touched(victim));
+        let unused = resident.difference(self.space.touched(victim));
+        let unused_pages = unused.count() as u64;
+        self.space.evicted_ever_mut(victim).or_with(&resident);
+        let eu = self.space.evicted_unused_mut(victim);
+        eu.or_with(&unused);
+        eu.andnot_with(&used);
+        self.space.clear_block_hot(victim);
+        self.space.bump_eviction_count(victim);
         if self.maintain_trees {
             self.trees[victim.0 as usize].clear();
         }
@@ -746,7 +770,7 @@ impl UvmDriver {
         self.counters.pages_evicted_clean += resident_pages - dirty_pages;
         self.trace
             .record(EventKind::Eviction, victim.first_page().0, now);
-        cost
+        (cost, backed_pages * PAGE_SIZE)
     }
 
     /// Service an explicit prefetch hint (`cudaMemPrefetchAsync` style,
@@ -766,11 +790,7 @@ impl UvmDriver {
             range.num_pages,
         );
         for vb in (first_block..=last_block).map(VaBlockIdx) {
-            let (valid, resident, backed) = {
-                let st = self.space.block(vb);
-                (st.valid, st.resident, st.backed)
-            };
-            let wanted = valid.difference(&resident);
+            let wanted = self.space.valid(vb).difference(self.space.resident(vb));
             if wanted.is_empty() {
                 continue;
             }
@@ -784,7 +804,9 @@ impl UvmDriver {
             );
             let g = self.cfg.alloc_granularity_pages;
             for unit_start in (0..PAGES_PER_VABLOCK).step_by(g) {
-                if wanted.count_range(unit_start, g) == 0 || backed.count_range(unit_start, g) > 0 {
+                if wanted.count_range(unit_start, g) == 0
+                    || self.space.backed(vb).count_range(unit_start, g) > 0
+                {
                     continue;
                 }
                 loop {
@@ -804,10 +826,10 @@ impl UvmDriver {
                             self.counters.pma_calls += grant.calls;
                             break;
                         }
-                        Err(_) => t += self.evict_one(vb, now + t),
+                        Err(e) => t += self.evict_batch(vb, e.shortfall(), now + t),
                     }
                 }
-                self.space.block_mut(vb).backed.set_range(unit_start, g);
+                self.space.backed_mut(vb).set_range(unit_start, g);
                 let zero = self.cost.page_zero(g as u64);
                 t += self.charge_span(
                     Category::ServiceMigrate,
@@ -839,11 +861,8 @@ impl UvmDriver {
                 vb.0,
                 n,
             );
-            {
-                let st = self.space.block_mut(vb);
-                st.resident.or_with(&wanted);
-                st.prefetched_ever.or_with(&wanted);
-            }
+            self.space.resident_mut(vb).or_with(&wanted);
+            self.space.prefetched_ever_mut(vb).or_with(&wanted);
             if self.maintain_trees {
                 self.trees[vb.0 as usize].add_mask(&wanted);
             }
@@ -892,7 +911,7 @@ impl UvmDriver {
             range.num_pages,
         );
         for vb in (first_block..=last_block).map(VaBlockIdx) {
-            let resident = self.space.block(vb).resident;
+            let resident = *self.space.resident(vb);
             if resident.is_empty() {
                 continue;
             }
@@ -912,21 +931,20 @@ impl UvmDriver {
             );
             self.xfer.record_d2h(n * PAGE_SIZE);
             self.attribution.host_migrated_bytes += n * PAGE_SIZE;
-            let backed_pages = {
-                let st = self.space.block_mut(vb);
-                st.resident = PageMask::EMPTY;
-                st.dirty = PageMask::EMPTY;
-                // Provenance: migrating back to the host is paged
-                // bidirectional migration, not eviction thrash — reset
-                // the migrated pages' touched-bit and eviction history
-                // so their next GPU fault counts as ColdFirstTouch.
-                st.touched = st.touched.difference(&resident);
-                st.evicted_ever = st.evicted_ever.difference(&resident);
-                st.evicted_unused = st.evicted_unused.difference(&resident);
-                let b = st.backed.count() as u64;
-                st.backed = PageMask::EMPTY;
-                b
-            };
+            *self.space.resident_mut(vb) = PageMask::EMPTY;
+            *self.space.dirty_mut(vb) = PageMask::EMPTY;
+            // Provenance: migrating back to the host is paged
+            // bidirectional migration, not eviction thrash — reset
+            // the migrated pages' touched-bit and eviction history
+            // so their next GPU fault counts as ColdFirstTouch. Only
+            // the migrated pages are cleared (word-wise AND-NOT), so
+            // `clear_block_hot` — which wipes `touched` wholesale —
+            // would be wrong here.
+            self.space.touched_mut(vb).andnot_with(&resident);
+            self.space.evicted_ever_mut(vb).andnot_with(&resident);
+            self.space.evicted_unused_mut(vb).andnot_with(&resident);
+            let backed_pages = self.space.backed_pages(vb) as u64;
+            *self.space.backed_mut(vb) = PageMask::EMPTY;
             if self.maintain_trees {
                 self.trees[vb.0 as usize].clear();
             }
@@ -958,8 +976,7 @@ impl UvmDriver {
             let vb = VaBlockIdx(b as u64);
             let base = vb.first_page().0;
             self.space
-                .block(vb)
-                .prefetched_ever
+                .prefetched_ever(vb)
                 .iter_set()
                 .map(move |off| gpu_model::GlobalPage(base + off as u64))
         })
@@ -1006,7 +1023,7 @@ impl UvmDriver {
         }
         for n in notifs {
             let vb = GlobalPage(n.first_page(granularity_pages)).vablock();
-            if (vb.0 as usize) < self.space.num_blocks() && !self.space.block(vb).is_unbacked() {
+            if (vb.0 as usize) < self.space.num_blocks() && !self.space.is_unbacked(vb) {
                 self.lru.touch(vb);
             }
         }
@@ -1187,7 +1204,7 @@ mod tests {
         assert_eq!(r.fetched, 1);
         assert_eq!(r.pages_migrated, 1);
         assert_eq!(r.replays, 1);
-        assert!(d.space().block(VaBlockIdx(0)).resident.get(100));
+        assert!(d.space().resident(VaBlockIdx(0)).get(100));
         assert_eq!(d.counters().pages_faulted_in, 1);
         assert_eq!(d.counters().pages_prefetched, 0);
         assert!(r.time > SimDuration::ZERO);
@@ -1205,8 +1222,8 @@ mod tests {
         let r = d.process_pass(&mut buf, now());
         assert_eq!(r.pages_migrated, 16);
         assert_eq!(d.counters().pages_prefetched, 15);
-        let st = d.space().block(VaBlockIdx(0));
-        assert!(st.resident.get(96) && st.resident.get(111));
+        let resident = d.space().resident(VaBlockIdx(0));
+        assert!(resident.get(96) && resident.get(111));
     }
 
     #[test]
@@ -1221,9 +1238,9 @@ mod tests {
         push_fault(&mut buf, 3, true, 0);
         push_fault(&mut buf, 4, false, 0);
         d.process_pass(&mut buf, now());
-        let st = d.space().block(VaBlockIdx(0));
-        assert!(st.dirty.get(3));
-        assert!(!st.dirty.get(4));
+        let dirty = d.space().dirty(VaBlockIdx(0));
+        assert!(dirty.get(3));
+        assert!(!dirty.get(4));
     }
 
     #[test]
@@ -1318,9 +1335,11 @@ mod tests {
         push_fault(&mut buf, 1024, false, 0);
         d.process_pass(&mut buf, now());
         assert_eq!(d.counters().evictions, 1);
-        let st0 = d.space().block(VaBlockIdx(0));
-        assert!(st0.resident.is_empty(), "block 0 was LRU and evicted");
-        assert_eq!(st0.eviction_count, 1);
+        assert!(
+            d.space().resident(VaBlockIdx(0)).is_empty(),
+            "block 0 was LRU and evicted"
+        );
+        assert_eq!(d.space().eviction_count(VaBlockIdx(0)), 1);
         // The write-faulted page was written back.
         assert_eq!(d.counters().pages_evicted_migrated, 1);
         assert!(d.transfer_log().d2h_bytes > 0);
@@ -1342,8 +1361,8 @@ mod tests {
         // page in block 1, which must evict block 0 (the only other).
         push_fault(&mut buf, 513, false, 0);
         d.process_pass(&mut buf, now());
-        assert!(d.space().block(VaBlockIdx(1)).resident.get(1));
-        assert!(d.space().block(VaBlockIdx(0)).resident.is_empty());
+        assert!(d.space().resident(VaBlockIdx(1)).get(1));
+        assert!(d.space().resident(VaBlockIdx(0)).is_empty());
     }
 
     #[test]
@@ -1358,7 +1377,7 @@ mod tests {
         let mut buf = FaultBuffer::new(FaultBufferConfig::default());
         push_fault(&mut buf, 0, false, 0);
         d.process_pass(&mut buf, now());
-        assert_eq!(d.space().block(VaBlockIdx(0)).backed_pages(), 16);
+        assert_eq!(d.space().backed_pages(VaBlockIdx(0)), 16);
         assert_eq!(d.gpu_memory_in_use(), 16 * PAGE_SIZE);
         // Stock granularity backs the whole block.
         let cfg = DriverConfig {
@@ -1370,7 +1389,7 @@ mod tests {
         let mut buf = FaultBuffer::new(FaultBufferConfig::default());
         push_fault(&mut buf, 0, false, 0);
         d.process_pass(&mut buf, now());
-        assert_eq!(d.space().block(VaBlockIdx(0)).backed_pages(), 512);
+        assert_eq!(d.space().backed_pages(VaBlockIdx(0)), 512);
     }
 
     #[test]
@@ -1401,8 +1420,8 @@ mod tests {
         // A third block faults: block 1 (not 0) must be evicted.
         push_fault(&mut buf, 1024, false, 0);
         d.process_pass(&mut buf, now());
-        assert!(!d.space().block(VaBlockIdx(0)).resident.is_empty());
-        assert!(d.space().block(VaBlockIdx(1)).resident.is_empty());
+        assert!(!d.space().resident(VaBlockIdx(0)).is_empty());
+        assert!(d.space().resident(VaBlockIdx(1)).is_empty());
     }
 
     #[test]
@@ -1442,9 +1461,9 @@ mod tests {
         push_fault(&mut buf, 100, false, 0);
         let r = d.process_pass(&mut buf, now());
         assert_eq!(r.pages_migrated, 9, "fault + next 8");
-        let st = d.space().block(VaBlockIdx(0));
-        assert!(st.resident.get(100) && st.resident.get(108));
-        assert!(!st.resident.get(99) && !st.resident.get(109));
+        let resident = d.space().resident(VaBlockIdx(0));
+        assert!(resident.get(100) && resident.get(108));
+        assert!(!resident.get(99) && !resident.get(109));
         assert_eq!(d.counters().pages_prefetched, 8);
     }
 
@@ -1589,7 +1608,7 @@ mod tests {
                 results.push(r);
             }
             let resid: Vec<u64> = (0..16)
-                .map(|b| d.space().block(VaBlockIdx(b)).resident.count() as u64)
+                .map(|b| d.space().resident(VaBlockIdx(b)).count() as u64)
                 .collect();
             (
                 results,
@@ -1748,8 +1767,8 @@ mod tests {
         );
         // The replanned service still landed the freshly faulted page,
         // and not the evicted batch-start residency.
-        assert!(d.space().block(VaBlockIdx(9)).resident.get(1));
-        assert!(!d.space().block(VaBlockIdx(9)).resident.get(0));
+        assert!(d.space().resident(VaBlockIdx(9)).get(1));
+        assert!(!d.space().resident(VaBlockIdx(9)).get(0));
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub mod prefetch;
 pub(crate) mod service;
 pub mod thrash;
 
-pub use address_space::{ManagedSpace, VaBlockState, VaRange};
+pub use address_space::{ManagedSpace, VaRange};
 pub use batch::{Batch, BatchArena, FaultGroup};
 pub use driver::{DriverConfig, PassResult, UvmDriver};
 pub use lru::LruList;

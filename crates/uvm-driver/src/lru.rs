@@ -129,6 +129,17 @@ impl LruList {
         true
     }
 
+    /// Re-insert blocks that an eviction scan popped but skipped (pinned
+    /// by the thrashing detector), restoring their relative recency: the
+    /// slice is in pop order (LRU first), so reverse iteration touches
+    /// the most-recently-used skip last and it lands at the head. Drains
+    /// the vector so its capacity can be reused by the next scan.
+    pub fn reinsert_skipped(&mut self, skipped: &mut Vec<VaBlockIdx>) {
+        for v in skipped.drain(..).rev() {
+            self.touch(v);
+        }
+    }
+
     /// Peek the least-recently-used block without removing it.
     pub fn peek_lru(&self) -> Option<VaBlockIdx> {
         (self.tail != NONE).then_some(VaBlockIdx(self.tail as u64))
@@ -204,6 +215,24 @@ mod tests {
         let order: Vec<u64> = l.iter_mru().map(|x| x.0).collect();
         assert_eq!(order, vec![2, 0]);
         assert!(!l.contains(b(1)));
+    }
+
+    #[test]
+    fn reinsert_skipped_restores_recency_order() {
+        let mut l = LruList::new(8);
+        for i in 0..4 {
+            l.touch(b(i));
+        }
+        // An eviction scan pops 0 then 1 (both pinned, say), then takes 2.
+        let mut skipped = vec![l.pop_lru().unwrap(), l.pop_lru().unwrap()];
+        assert_eq!(skipped, vec![b(0), b(1)]);
+        assert_eq!(l.pop_lru(), Some(b(2)));
+        l.reinsert_skipped(&mut skipped);
+        assert!(skipped.is_empty(), "drained for reuse");
+        // Reverse-order touches: the scan's first pop (0) is touched
+        // last and lands at the MRU head, 3 (never popped) stays LRU.
+        let order: Vec<u64> = l.iter_mru().map(|x| x.0).collect();
+        assert_eq!(order, vec![0, 1, 3]);
     }
 
     #[test]

@@ -35,6 +35,15 @@ pub struct PmaExhausted {
     pub available: u64,
 }
 
+impl PmaExhausted {
+    /// Bytes the caller must free for a retry of the same request to
+    /// succeed — the batched eviction scan's target. `alloc` fails iff
+    /// `requested > available`, so this is always positive.
+    pub fn shortfall(&self) -> u64 {
+        self.requested - self.available
+    }
+}
+
 /// The physical memory allocator.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Pma {
@@ -163,6 +172,20 @@ mod tests {
         let err = pma.alloc(VABLOCK_SIZE, &cost, &mut rng).unwrap_err();
         assert_eq!(err.requested, VABLOCK_SIZE);
         assert_eq!(err.available, 0);
+    }
+
+    #[test]
+    fn shortfall_is_the_exact_deficit() {
+        let (mut pma, cost, mut rng) = fixture();
+        for _ in 0..31 {
+            pma.alloc(VABLOCK_SIZE, &cost, &mut rng).unwrap();
+        }
+        // One VABlock still available; ask for two.
+        let err = pma.alloc(2 * VABLOCK_SIZE, &cost, &mut rng).unwrap_err();
+        assert_eq!(err.shortfall(), VABLOCK_SIZE);
+        // Freeing exactly the shortfall makes the retry succeed.
+        pma.free(VABLOCK_SIZE);
+        assert!(pma.alloc(2 * VABLOCK_SIZE, &cost, &mut rng).is_ok());
     }
 
     #[test]

@@ -48,22 +48,25 @@ pub(crate) fn plan_group(
     plan: &mut ServicePlan,
 ) {
     let vb = group.block;
-    let st = space.block(vb);
-    let (valid, resident, backed) = (st.valid, st.resident, st.backed);
+    // SoA: pull exactly the three hot masks planning reads; the cold
+    // provenance arrays are never touched on this path.
+    let valid = space.valid(vb);
+    let resident = space.resident(vb);
+    let backed = space.backed(vb);
     // Slots are reused across batches without re-initialisation, so every
     // field the commit half can read is (re)written here. A noop plan
     // only needs `faulted` (what `is_noop` checks) and the epoch — the
     // commit half reads nothing else from it.
-    plan.eviction_epoch = st.eviction_count;
-    plan.faulted = group.fault_mask.intersect(&valid).difference(&resident);
+    plan.eviction_epoch = space.eviction_count(vb);
+    plan.faulted = group.fault_mask.intersect(valid).difference(resident);
     if plan.faulted.is_empty() {
         return;
     }
     plan.prefetch = compute_prefetch_seeded(
         policy,
-        &resident,
+        resident,
         &plan.faulted,
-        &valid,
+        valid,
         &trees[vb.0 as usize],
         scratch,
     );
@@ -345,10 +348,10 @@ mod tests {
     fn plan_matches_block_state() {
         let (mut space, mut trees, cost) = fixture(4);
         // Page 5 already resident: only page 6 faults, whole block unbacked.
-        space.block_mut(VaBlockIdx(1)).resident.set(5);
-        space.block_mut(VaBlockIdx(1)).backed.set(5);
+        space.resident_mut(VaBlockIdx(1)).set(5);
+        space.backed_mut(VaBlockIdx(1)).set(5);
         space.sync_block_residency(VaBlockIdx(1));
-        trees[1].add_mask(&space.block(VaBlockIdx(1)).resident);
+        trees[1].add_mask(space.resident(VaBlockIdx(1)));
         let group = group_of(1, &[5, 6]);
         let mut scratch = DensityTree::new_empty();
         let mut plan = ServicePlan::default();

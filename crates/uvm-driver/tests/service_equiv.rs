@@ -76,8 +76,9 @@ fn run_driver(
     }
     let residency: Vec<u64> = (0..BLOCKS)
         .map(|b| {
-            let st = driver.space().block(VaBlockIdx(b));
-            st.resident.count() as u64 + ((st.eviction_count as u64) << 32)
+            let space = driver.space();
+            space.resident(VaBlockIdx(b)).count() as u64
+                + ((space.eviction_count(VaBlockIdx(b)) as u64) << 32)
         })
         .collect();
     (

@@ -28,7 +28,6 @@ use metrics::{
 };
 use serde::{Deserialize, Serialize};
 use gpu_model::WorkloadTrace;
-use rayon::prelude::*;
 use sim_engine::units::PAGE_SIZE;
 use sim_engine::{CostModel, SimDuration, SimRng, SimTime};
 use std::sync::Arc;
@@ -142,13 +141,18 @@ pub fn run(config: &SimConfig, workload: &Workload) -> SimReport {
     run_prepared(config, &prepare(config, workload))
 }
 
-/// Resolve `driver.service_workers == 0` (auto) to the rayon pool size,
-/// so intra-point planning parallelism defaults to the same width as
-/// point-level sweep parallelism. Simulated output does not depend on the
-/// resolved value — only host wall time does.
+/// Treat `driver.service_workers == 0` (auto) as 1 (fully serial).
+///
+/// Auto used to silently inherit the ambient rayon pool size here, which
+/// made the phase telemetry's `workers` field — and the measured
+/// serial-front / parallel-service split — vary with host core count
+/// even at a fixed `--service-workers`. The `repro` harness now resolves
+/// auto to an explicit count *before* the config reaches this crate;
+/// anything still unresolved runs serial. Simulated output never depends
+/// on the value — only host wall time does.
 fn resolve_service_workers(mut driver: uvm_driver::DriverConfig) -> uvm_driver::DriverConfig {
     if driver.service_workers == 0 {
-        driver.service_workers = rayon::current_num_threads().max(1);
+        driver.service_workers = 1;
     }
     driver
 }
@@ -306,10 +310,27 @@ pub fn run_sweep(points: Vec<(SimConfig, Workload)>) -> Vec<SimReport> {
 /// out of input order under parallelism). Used by the `repro` binary for
 /// live progress/ETA telemetry; the returned reports are identical to
 /// [`run_sweep`]'s, still in input order.
+///
+/// Points are scheduled over per-worker work-stealing deques rather than
+/// a static split: each worker is dealt a round-robin share in
+/// longest-expected-first order (a point's wall time tracks its trace's
+/// access count), pops its own deque from the front, and when empty
+/// steals from the back of whichever peer has the most left. Under the
+/// old static split one straggler point serialised the tail of `repro
+/// all`; with stealing, idle workers drain the straggler's queue behind
+/// it. Determinism is unaffected: every point's simulation is
+/// independent and deterministic, and each report is committed to its
+/// input-index slot, so steal order changes wall time only. Queue/steal
+/// stats land in [`metrics::sched`] for the harness to drain.
 pub fn run_sweep_with<F>(points: Vec<(SimConfig, Workload)>, on_point: F) -> Vec<SimReport>
 where
     F: Fn(usize, &SimReport) + Sync,
 {
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex;
+    use std::time::Instant;
+
     let mut prepared: Vec<(u64, Workload, PreparedWorkload)> = Vec::new();
     let jobs: Vec<(usize, SimConfig, usize)> = points
         .into_iter()
@@ -325,11 +346,107 @@ where
             (i, config, idx)
         })
         .collect();
-    jobs.into_par_iter()
-        .map(|(i, config, idx)| {
-            let report = run_prepared(&config, &prepared[idx].2);
-            on_point(i, &report);
-            report
+
+    let n = jobs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = rayon::current_num_threads().min(n).max(1);
+
+    if threads <= 1 {
+        // Serial: input order, no deques to maintain.
+        let mut max_wall = 0u64;
+        let reports: Vec<SimReport> = jobs
+            .iter()
+            .map(|(i, config, idx)| {
+                let t0 = Instant::now();
+                let report = run_prepared(config, &prepared[*idx].2);
+                max_wall = max_wall.max(t0.elapsed().as_nanos() as u64);
+                on_point(*i, &report);
+                report
+            })
+            .collect();
+        metrics::sched::record(&metrics::SweepSchedStats {
+            points: n as u64,
+            stolen: 0,
+            max_point_wall_ns: max_wall,
+            threads: 1,
+        });
+        return reports;
+    }
+
+    // Deal in longest-expected-first order (ties broken by input index,
+    // keeping the deal deterministic) so the heaviest points start first
+    // and the short tail is what gets stolen.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&j| {
+        (
+            std::cmp::Reverse(prepared[jobs[j].2].2.trace.total_accesses()),
+            j,
+        )
+    });
+    let deques: Vec<Mutex<VecDeque<usize>>> = (0..threads)
+        .map(|_| Mutex::new(VecDeque::new()))
+        .collect();
+    for (rank, &job) in order.iter().enumerate() {
+        deques[rank % threads].lock().unwrap().push_back(job);
+    }
+
+    let slots: Vec<Mutex<Option<SimReport>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let stolen = AtomicU64::new(0);
+    let max_wall = AtomicU64::new(0);
+    {
+        let (jobs, prepared, deques) = (&jobs, &prepared, &deques);
+        let (slots, stolen, max_wall, on_point) = (&slots, &stolen, &max_wall, &on_point);
+        std::thread::scope(|s| {
+            for me in 0..threads {
+                s.spawn(move || loop {
+                    let popped = deques[me].lock().unwrap().pop_front();
+                    let (job, stole) = match popped {
+                        Some(j) => (j, false),
+                        None => {
+                            // Steal from the back of the fullest peer.
+                            let mut best: Option<(usize, usize)> = None;
+                            for (v, d) in deques.iter().enumerate() {
+                                let len = if v == me { 0 } else { d.lock().unwrap().len() };
+                                if len > 0 && best.is_none_or(|(_, l)| len > l) {
+                                    best = Some((v, len));
+                                }
+                            }
+                            // Jobs are only ever consumed, so an
+                            // all-empty scan means the sweep is drained.
+                            let Some((v, _)) = best else { break };
+                            match deques[v].lock().unwrap().pop_back() {
+                                Some(j) => (j, true),
+                                None => continue, // lost the race; rescan
+                            }
+                        }
+                    };
+                    let (i, config, idx) = &jobs[job];
+                    let t0 = Instant::now();
+                    let report = run_prepared(config, &prepared[*idx].2);
+                    max_wall.fetch_max(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    if stole {
+                        stolen.fetch_add(1, Ordering::Relaxed);
+                    }
+                    on_point(*i, &report);
+                    *slots[*i].lock().unwrap() = Some(report);
+                });
+            }
+        });
+    }
+    metrics::sched::record(&metrics::SweepSchedStats {
+        points: n as u64,
+        stolen: stolen.into_inner(),
+        max_point_wall_ns: max_wall.into_inner(),
+        threads: threads as u64,
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap()
+                .expect("work-stealing scheduler ran every point")
         })
         .collect()
 }

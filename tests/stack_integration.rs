@@ -79,8 +79,7 @@ fn manual_wiring_matches_residency_expectations() {
         let vb = GlobalPage(p).vablock();
         assert!(driver
             .space()
-            .block(vb)
-            .dirty
+            .dirty(vb)
             .get(GlobalPage(p).offset_in_vablock()));
     }
     assert_eq!(driver.counters().pages_faulted_in, 4);
@@ -192,7 +191,7 @@ fn access_counter_eviction_protects_hot_blocks_end_to_end() {
             }
             engine.replay();
         }
-        driver.space().block(VaBlockIdx(0)).eviction_count
+        driver.space().eviction_count(VaBlockIdx(0))
     };
     let stock = run_with(EvictionPolicy::FaultLru);
     let counter = run_with(EvictionPolicy::AccessCounterLru);
@@ -261,7 +260,7 @@ fn thrash_pinning_protects_faultless_hot_data() {
             engine.replay();
         }
         (
-            driver.space().block(VaBlockIdx(0)).eviction_count,
+            driver.space().eviction_count(VaBlockIdx(0)),
             driver.thrash_detector().pins(),
         )
     };
@@ -353,8 +352,7 @@ fn managed_space_is_the_single_residency_oracle() {
     let mut space = ManagedSpace::new();
     let range = space.alloc(VABLOCK_SIZE, "x");
     space
-        .block_mut(VaBlockIdx(0))
-        .resident
+        .resident_mut(VaBlockIdx(0))
         .set(range.page(17).offset_in_vablock());
     space.sync_block_residency(VaBlockIdx(0));
     assert!(space.is_resident(range.page(17)));

@@ -85,8 +85,10 @@ fn span_streams_identical_across_service_workers() {
     // The intra-point planning pool must be invisible in everything
     // simulated: span streams (minus wall_ns), timers, counters, fault
     // traces. Only host wall time may change with the worker count.
+    // 0 (auto, treated as serial by the simulator) is covered too: the
+    // resolution path must not leak into simulated output either.
     let mut golden: Option<Vec<(Vec<SpanEvent>, String)>> = None;
-    for workers in [1usize, 4] {
+    for workers in [0usize, 1, 4] {
         let mut points = traced_points();
         for (cfg, _) in points.iter_mut() {
             cfg.driver.service_workers = workers;
